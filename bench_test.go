@@ -1,0 +1,241 @@
+package decos
+
+// One benchmark per paper figure (experiments E1–E8 of DESIGN.md) and per
+// ablation (A1–A4), plus micro-benchmarks of the load-bearing machinery.
+// Run with: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"decos/internal/diagnosis"
+	"decos/internal/experiments"
+	"decos/internal/faults"
+	"decos/internal/scenario"
+	"decos/internal/sim"
+	"decos/internal/tt"
+	"decos/internal/vnet"
+)
+
+const benchSeed = 20050404
+
+// --- One benchmark per figure -------------------------------------------
+
+func BenchmarkE1CoreServices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E1CoreServices(benchSeed); r.Metrics["membership_agree"] != 1 {
+			b.Fatal("core services failed")
+		}
+	}
+}
+
+func BenchmarkE2Chain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E2Chain(benchSeed); r.Metrics["accuracy"] < 0.8 {
+			b.Fatal("chain accuracy collapsed")
+		}
+	}
+}
+
+func BenchmarkE3Bathtub(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E3Bathtub(benchSeed); r.Metrics["bathtub_shape_ok"] != 1 {
+			b.Fatal("bathtub shape broken")
+		}
+	}
+}
+
+func BenchmarkE4Patterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E4Patterns(benchSeed); r.Metrics["wearout_rise"] < 1.5 {
+			b.Fatal("pattern signatures broken")
+		}
+	}
+}
+
+func BenchmarkE5Trust(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E5Trust(benchSeed); r.Metrics["fig9_shape_ok"] != 1 {
+			b.Fatal("trust trajectories broken")
+		}
+	}
+}
+
+func BenchmarkE6Judgment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E6Judgment(benchSeed); r.Metrics["tmr_masked"] != 1 {
+			b.Fatal("judgment broken")
+		}
+	}
+}
+
+func BenchmarkE7Actions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E7Actions(benchSeed); r.Metrics["action_accuracy"] < 0.7 {
+			b.Fatal("action accuracy collapsed")
+		}
+	}
+}
+
+func BenchmarkE8NFF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.E8NFF(benchSeed)
+		if r.Metrics["decos_action_acc"] <= r.Metrics["obd_action_acc"] {
+			b.Fatal("NFF comparison inverted")
+		}
+	}
+}
+
+func BenchmarkE9MultiFault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E9MultiFault(benchSeed)
+	}
+}
+
+func BenchmarkE10Scale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E10Scale(benchSeed)
+	}
+}
+
+func BenchmarkE11Repair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E11RepairLoop(benchSeed); r.Metrics["decos_fix_rate"] < 0.8 {
+			b.Fatal("repair effectiveness collapsed")
+		}
+	}
+}
+
+func BenchmarkE12Robustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E12Robustness(benchSeed); r.Metrics["overall"] < 0.8 {
+			b.Fatal("robustness collapsed")
+		}
+	}
+}
+
+func BenchmarkA1WindowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.A1WindowSweep(benchSeed)
+	}
+}
+
+func BenchmarkA2AlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.A2AlphaSweep(benchSeed)
+	}
+}
+
+func BenchmarkA3Encapsulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.A3Encapsulation(benchSeed)
+	}
+}
+
+func BenchmarkA4QueueSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.A4QueueSweep(benchSeed)
+	}
+}
+
+func BenchmarkA5DiagBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.A5DiagBandwidth(benchSeed)
+	}
+}
+
+// --- Micro-benchmarks of the substrate ----------------------------------
+
+// BenchmarkSchedulerThroughput measures raw discrete-event dispatch.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := sim.NewScheduler()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(1, "e", func() {})
+		s.Step()
+	}
+}
+
+// BenchmarkRNG measures the xoshiro stream.
+func BenchmarkRNG(b *testing.B) {
+	r := sim.NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkMessageRoundtrip measures the VN hot path: pack one state
+// message into a frame segment and decode+dispatch it at a receiver.
+func BenchmarkMessageRoundtrip(b *testing.B) {
+	payload := vnet.FloatPayload(3.14)
+	cfg := tt.UniformSchedule(1, 250, 64)
+	f := vnet.NewFabric(cfg, sim.NewRNG(1))
+	n := vnet.NewNetwork("bench", vnet.TimeTriggered, "x")
+	n.AddEndpoint(0, 32, 0)
+	n.DeclareChannel(1, 0)
+	f.AddNetwork(n)
+	f.Subscribe(0, 1, 0, true)
+	if err := f.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(1, payload, sim.Time(i))
+		p := f.BuildPayload(0)
+		f.ConsumeFrame(0, tt.Frame{Sender: 0, Payload: p}, tt.FrameOK, sim.Time(i))
+	}
+}
+
+// BenchmarkClusterRound measures one full TDMA round of the Fig. 10 system
+// including jobs, virtual networks and diagnostics.
+func BenchmarkClusterRound(b *testing.B) {
+	sys := scenario.Fig10(benchSeed, diagnosis.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Run(int64(b.N))
+}
+
+// BenchmarkClusterRoundUnderFault measures round cost with an active
+// connector fault (symptom traffic flowing).
+func BenchmarkClusterRoundUnderFault(b *testing.B) {
+	sys := scenario.Fig10(benchSeed, diagnosis.Options{})
+	sys.Injector.ConnectorTx(0, 0, 0, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Run(int64(b.N))
+}
+
+// BenchmarkAssessorEpoch measures one ONA-suite evaluation over a loaded
+// history.
+func BenchmarkAssessorEpoch(b *testing.B) {
+	sys := scenario.Fig10(benchSeed, diagnosis.Options{})
+	sys.Injector.ConnectorTx(0, 0, 0, 0.3)
+	sys.Run(2000)
+	a := sys.Diag.Assessor
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.EvaluateNow(2000+int64(i), sim.Time(i))
+	}
+}
+
+// BenchmarkBathtubSample measures lifetime sampling.
+func BenchmarkBathtubSample(b *testing.B) {
+	m := faults.AutomotiveECU()
+	r := sim.NewRNG(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.SampleLifetime(r)
+	}
+	_ = sink
+}
+
+// BenchmarkAlphaCount measures the α-count update path.
+func BenchmarkAlphaCount(b *testing.B) {
+	a := diagnosis.NewAlphaCount(0.9, 2.5)
+	for i := 0; i < b.N; i++ {
+		a.Step(diagnosis.FRUIndex(i%16), i%3 == 0, 1)
+	}
+}

@@ -1,0 +1,36 @@
+// Command decos-bench regenerates the paper's figures as measurements:
+// experiments E1–E8 (one per figure, see DESIGN.md) and the ablations
+// A1–A4.
+//
+// Usage:
+//
+//	decos-bench [-experiment E1|...|A4|all] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"decos/internal/experiments"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "experiment id (E1..E8, A1..A4) or 'all'")
+	seed := flag.Uint64("seed", 20050404, "master seed")
+	flag.Parse()
+
+	if strings.EqualFold(*which, "all") {
+		for _, r := range experiments.All(*seed) {
+			fmt.Println(r)
+		}
+		return
+	}
+	r, ok := experiments.ByID(*which, *seed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use E1..E8, A1..A4, all)\n", *which)
+		os.Exit(2)
+	}
+	fmt.Println(r)
+}

@@ -1,0 +1,125 @@
+// Command decos-replay reads a JSON-lines event trace written by
+// decos-sim -trace and prints the offline analysis a warranty engineer
+// would start from: the incident inventory, per-FRU symptom totals, the
+// verdict timeline and the trust endpoints (paper Section V-B: off-line
+// analysis of field data informs fault-pattern design).
+//
+// Usage:
+//
+//	decos-replay trace.jsonl
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"decos/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: decos-replay <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var (
+		kinds      = map[string]int{}
+		symptoms   = map[string]int{} // subject -> count
+		sympKinds  = map[string]int{} // symptom kind -> count
+		verdicts   []trace.Event
+		injections []trace.Event
+		lastTrust  = map[string]float64{}
+		firstT     = int64(-1)
+		lastT      int64
+		total      int
+	)
+
+	dec := json.NewDecoder(f)
+	for {
+		var e trace.Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "malformed trace: %v\n", err)
+			os.Exit(1)
+		}
+		total++
+		kinds[e.Kind]++
+		if firstT < 0 || e.T < firstT {
+			firstT = e.T
+		}
+		if e.T > lastT {
+			lastT = e.T
+		}
+		switch e.Kind {
+		case "symptom":
+			symptoms[e.Subject] += e.Count
+			sympKinds[e.Symptom] += e.Count
+		case "verdict":
+			verdicts = append(verdicts, e)
+		case "injection":
+			injections = append(injections, e)
+		case "trust":
+			if e.Trust != nil {
+				lastTrust[e.Subject] = *e.Trust
+			}
+		}
+	}
+
+	fmt.Printf("trace: %d events spanning %.3fs .. %.3fs\n", total,
+		float64(firstT)/1e6, float64(lastT)/1e6)
+	fmt.Printf("event kinds:")
+	for _, k := range sortedKeys(kinds) {
+		fmt.Printf(" %s=%d", k, kinds[k])
+	}
+	fmt.Println()
+
+	if len(injections) > 0 {
+		fmt.Println("\n== injected faults (ground truth; not visible to diagnosis) ==")
+		for _, e := range injections {
+			fmt.Printf("  %.3fs  %-22s %-18s %s\n", float64(e.T)/1e6, e.Class, e.Subject, e.Detail)
+		}
+	}
+
+	fmt.Println("\n== symptom totals per FRU ==")
+	for _, s := range sortedKeys(symptoms) {
+		fmt.Printf("  %-22s %6d\n", s, symptoms[s])
+	}
+	fmt.Println("\n== symptom totals per kind ==")
+	for _, s := range sortedKeys(sympKinds) {
+		fmt.Printf("  %-22s %6d\n", s, sympKinds[s])
+	}
+
+	if len(verdicts) > 0 {
+		fmt.Println("\n== verdict timeline ==")
+		for _, e := range verdicts {
+			fmt.Printf("  %.3fs  %-22s %-22s pattern=%-20s action=%s\n",
+				float64(e.T)/1e6, e.Subject, e.Class, e.Pattern, e.Action)
+		}
+	}
+
+	if len(lastTrust) > 0 {
+		fmt.Println("\n== final trust levels ==")
+		for _, s := range sortedKeys(lastTrust) {
+			fmt.Printf("  %-22s %.3f\n", s, lastTrust[s])
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

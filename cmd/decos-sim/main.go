@@ -1,0 +1,149 @@
+// Command decos-sim runs one Fig. 10 DECOS cluster with an optional fault
+// injection and prints the diagnostic outcome: per-FRU verdicts, trust
+// levels, the OBD baseline's trouble codes, and the membership view.
+//
+// Usage:
+//
+//	decos-sim [-seed N] [-rounds N] [-fault kind] [-at ms] [-v]
+//
+// Fault kinds: emi seu connector-tx connector-rx wearout intermittent
+// permanent quartz config bohrbug heisenbug job-crash sensor-stuck
+// sensor-drift (empty = healthy run).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"decos/internal/diagnosis"
+	"decos/internal/maintenance"
+	"decos/internal/scenario"
+	"decos/internal/sim"
+	"decos/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "master seed")
+	rounds := flag.Int64("rounds", 3000, "TDMA rounds to simulate (1 ms each)")
+	faultName := flag.String("fault", "", "fault kind to inject (empty = healthy)")
+	atMS := flag.Int64("at", 300, "injection time in ms")
+	verbose := flag.Bool("v", false, "print the fault-error-failure chain and symptom stats")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	flag.Parse()
+
+	sys := scenario.Fig10(*seed, diagnosis.Options{})
+
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rec = trace.Attach(sys.Cluster, sys.Diag, sys.Injector, f, trace.Options{TrustEveryEpochs: 5})
+	}
+
+	var kind scenario.FaultKind = -1
+	if *faultName != "" {
+		for _, k := range scenario.AllKinds() {
+			if k.String() == *faultName {
+				kind = k
+			}
+		}
+		if kind < 0 {
+			fmt.Fprintf(os.Stderr, "unknown fault kind %q; known kinds:\n", *faultName)
+			for _, k := range scenario.AllKinds() {
+				fmt.Fprintf(os.Stderr, "  %s\n", k)
+			}
+			os.Exit(2)
+		}
+		act := sys.Inject(kind, sim.Time(*atMS)*sim.Time(sim.Millisecond),
+			sim.Time(*rounds)*sim.Time(sim.Millisecond))
+		fmt.Printf("injected: %s\n", act)
+	}
+
+	sys.Run(*rounds)
+	now := sys.Cluster.Sched.Now()
+	fmt.Printf("simulated %d rounds (%v), %d events, %d symptoms disseminated\n\n",
+		*rounds, now, sys.Cluster.Sched.Fired(), sys.Diag.Assessor.SymptomsReceived)
+	if rec != nil {
+		fmt.Printf("trace: %d events written to %s\n\n", rec.Events, *tracePath)
+	}
+
+	fmt.Println("== DECOS diagnostic DAS ==")
+	verdicts := sys.Diag.Assessor.CurrentAll()
+	if len(verdicts) == 0 {
+		fmt.Println("no findings: all FRUs conform to their specifications")
+	}
+	for _, v := range verdicts {
+		fmt.Printf("  %-22s %-22s pattern=%-18s action=%-20s conf=%.2f\n",
+			v.FRU, v.Class, v.Pattern, v.Action, v.Confidence)
+	}
+
+	fmt.Println("\n== trust levels ==")
+	for i := 0; i < sys.Diag.Reg.Len(); i++ {
+		idx := diagnosis.FRUIndex(i)
+		tr := sys.Diag.Assessor.Trust(idx)
+		bar := renderBar(float64(tr), 30)
+		fmt.Printf("  %-22s %s %.3f\n", sys.Diag.Reg.FRU(idx), bar, float64(tr))
+	}
+
+	fmt.Println("\n== OBD baseline ==")
+	dtcs := sys.OBD.DTCs()
+	if len(dtcs) == 0 {
+		fmt.Println("no stored DTCs")
+	}
+	for _, d := range dtcs {
+		fmt.Printf("  %s\n", d)
+	}
+
+	if len(sys.Injector.Ledger()) > 0 {
+		fmt.Println("\n== maintenance audit ==")
+		fmt.Print(maintenance.Evaluate(sys.Injector.Ledger(), sys.Diag).Format())
+	}
+
+	if *verbose {
+		for _, a := range sys.Injector.Ledger() {
+			fmt.Printf("\n== chain for %s ==\n  %s\n", a, a.Chain.String())
+		}
+		fmt.Println("\n== per-monitor symptom counts ==")
+		for _, m := range sys.Diag.Monitors {
+			fmt.Printf("  component %d: %d symptoms sent\n", m.Node, m.SymptomsSent)
+		}
+		round := sys.Cluster.Round()
+		fmt.Println("\n== membership (view of component 0) ==")
+		for _, c := range sys.Cluster.Components() {
+			fmt.Printf("  component %d member=%v\n", c.ID,
+				sys.Cluster.Bus.Membership(0).Member(c.ID, round))
+		}
+	}
+
+	// Exit non-zero when a culprit was missed, for scripting.
+	if len(sys.Injector.Ledger()) > 0 {
+		r := maintenance.Evaluate(sys.Injector.Ledger(), sys.Diag)
+		if r.Missed > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func renderBar(v float64, width int) string {
+	n := int(v*float64(width) + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	out := make([]byte, width)
+	for i := range out {
+		if i < n {
+			out[i] = '#'
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}

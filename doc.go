@@ -1,0 +1,14 @@
+// Package decos is a from-scratch reproduction of "A Maintenance-Oriented
+// Fault Model for the DECOS Integrated Diagnostic Architecture" (Peti,
+// Obermaisser, Ademaj, Kopetz — IPPS 2005): a simulated DECOS integrated
+// architecture (time-triggered core network, fault-tolerant clock
+// synchronization, virtual networks, components/jobs/DASs with TMR), a
+// fault-injection engine covering every class of the maintenance-oriented
+// fault model, the integrated diagnostic services (symptom detection,
+// dissemination on a virtual diagnostic network, Out-of-Norm Assertions,
+// α-counts, per-FRU trust levels), an OBD-style baseline, and the
+// maintenance audit that measures the no-fault-found ratio.
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and README.md for usage.
+package decos

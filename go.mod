@@ -1,0 +1,3 @@
+module decos
+
+go 1.22

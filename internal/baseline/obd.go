@@ -1,0 +1,210 @@
+// Package baseline implements a conventional on-board-diagnosis (OBD)
+// style diagnoser as the comparison point for the DECOS integrated
+// diagnostic architecture. It models the state of practice the paper's
+// introduction criticizes: per-ECU diagnostic trouble codes (DTCs) with a
+// 500 ms recording threshold, no cross-component correlation, no fault
+// classification — and consequently a high no-fault-found ratio, because
+// every recorded DTC leads to a component replacement while short
+// intermittents are never recorded at all.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"decos/internal/component"
+	"decos/internal/core"
+	"decos/internal/sim"
+	"decos/internal/tt"
+	"decos/internal/vnet"
+)
+
+// DTCThreshold is the recording threshold of current automotive OBD
+// systems: transient failures lasting longer than 500 ms are recorded,
+// shorter ones cannot be detected (paper Section III-E).
+const DTCThreshold = 500 * sim.Millisecond
+
+// DTC is one recorded diagnostic trouble code, attributed to a component.
+type DTC struct {
+	Component tt.NodeID
+	// Code is "U" for communication loss and "P" for signal plausibility.
+	Code  string
+	First sim.Time
+	Count int
+}
+
+func (d DTC) String() string {
+	return fmt.Sprintf("DTC %s on component %d (first %v, n=%d)", d.Code, d.Component, d.First, d.Count)
+}
+
+// OBD is the conventional diagnoser. It observes the same LIF-visible
+// state as the DECOS monitors but applies the conventional rules: record a
+// DTC when a deviation persists beyond the threshold, attribute it to the
+// nearest ECU, and recommend replacing every ECU with a stored DTC.
+type OBD struct {
+	cl *component.Cluster
+
+	// failure spans per sender component (communication path).
+	commFailSince map[tt.NodeID]sim.Time
+	commFailing   map[tt.NodeID]bool
+
+	// plausibility spans per channel.
+	valueFailSince map[vnet.ChannelID]sim.Time
+	valueFailing   map[vnet.ChannelID]bool
+
+	watched []watchedPort
+
+	dtcs map[tt.NodeID]map[string]*DTC
+}
+
+type watchedPort struct {
+	port *vnet.InPort
+	spec component.ChannelSpec
+	comp tt.NodeID // producing component (blamed on plausibility DTC)
+	prev int       // received count snapshot
+}
+
+// Attach builds the OBD diagnoser on a cluster. Like the DECOS
+// diagnostics, it must be attached after application configuration and
+// before Start.
+func Attach(cl *component.Cluster) *OBD {
+	o := &OBD{
+		cl:             cl,
+		commFailSince:  make(map[tt.NodeID]sim.Time),
+		commFailing:    make(map[tt.NodeID]bool),
+		valueFailSince: make(map[vnet.ChannelID]sim.Time),
+		valueFailing:   make(map[vnet.ChannelID]bool),
+		dtcs:           make(map[tt.NodeID]map[string]*DTC),
+	}
+
+	// Watch every application in-port with a spec, blaming the producer's
+	// ECU for plausibility violations.
+	for _, d := range cl.DASs() {
+		for _, j := range d.Jobs {
+			for _, ch := range j.InChannels() {
+				spec, ok := cl.Spec(ch)
+				if !ok {
+					continue
+				}
+				prod := cl.Producer(ch)
+				if prod == nil {
+					continue
+				}
+				o.watched = append(o.watched, watchedPort{
+					port: j.InPort(ch),
+					spec: spec,
+					comp: prod.Comp.ID,
+				})
+			}
+		}
+	}
+
+	// Frame-level communication monitoring.
+	cl.Bus.Observe(func(f *tt.Frame, per map[tt.NodeID]tt.FrameStatus) {
+		if f.Sender == tt.NoNode {
+			return
+		}
+		o.trackComm(f.Sender, f.Status.Failed(), cl.Sched.Now())
+	})
+
+	cl.OnRound(func(round int64, now sim.Time) {
+		for i := range o.watched {
+			w := &o.watched[i]
+			received := w.port.Stats.Received - w.prev
+			w.prev = w.port.Stats.Received
+			bad := false
+			if received > 0 && len(w.port.Stats.LastValue) == 8 {
+				v := vnet.Message{Payload: w.port.Stats.LastValue}.Float()
+				bad = !w.spec.Conforms(v)
+			}
+			o.trackValue(w.port.Channel, w.comp, bad, now)
+		}
+	})
+	return o
+}
+
+// trackComm updates the sender's continuous-failure span; crossing the
+// threshold stores a communication ("U") code against the sender.
+func (o *OBD) trackComm(n tt.NodeID, failing bool, now sim.Time) {
+	if !failing {
+		o.commFailing[n] = false
+		return
+	}
+	if !o.commFailing[n] {
+		o.commFailing[n] = true
+		o.commFailSince[n] = now
+		return
+	}
+	if now.Sub(o.commFailSince[n]) >= DTCThreshold {
+		o.recordDTC(n, "U", o.commFailSince[n])
+		o.commFailSince[n] = now // re-arm so a persisting fault re-counts
+	}
+}
+
+// trackValue updates a channel's continuous-implausibility span; crossing
+// the threshold stores a plausibility ("P") code against the producer ECU.
+func (o *OBD) trackValue(ch vnet.ChannelID, comp tt.NodeID, bad bool, now sim.Time) {
+	if !bad {
+		o.valueFailing[ch] = false
+		return
+	}
+	if !o.valueFailing[ch] {
+		o.valueFailing[ch] = true
+		o.valueFailSince[ch] = now
+		return
+	}
+	if now.Sub(o.valueFailSince[ch]) >= DTCThreshold {
+		o.recordDTC(comp, "P", o.valueFailSince[ch])
+		o.valueFailSince[ch] = now
+	}
+}
+
+func (o *OBD) recordDTC(comp tt.NodeID, code string, at sim.Time) {
+	m := o.dtcs[comp]
+	if m == nil {
+		m = make(map[string]*DTC)
+		o.dtcs[comp] = m
+	}
+	d := m[code]
+	if d == nil {
+		m[code] = &DTC{Component: comp, Code: code, First: at, Count: 1}
+		return
+	}
+	d.Count++
+}
+
+// DTCs returns all stored trouble codes, ordered by component and code.
+func (o *OBD) DTCs() []DTC {
+	var out []DTC
+	for _, m := range o.dtcs {
+		for _, d := range m {
+			out = append(out, *d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Component != out[j].Component {
+			return out[i].Component < out[j].Component
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// HasDTC reports whether the component has any stored code.
+func (o *OBD) HasDTC(n tt.NodeID) bool { return len(o.dtcs[n]) > 0 }
+
+// Clear erases the component's stored codes — the workshop clears DTC
+// memory after a service, whether or not the service fixed anything.
+func (o *OBD) Clear(n tt.NodeID) { delete(o.dtcs, n) }
+
+// Advise implements the conventional workshop strategy: replace every ECU
+// with a stored DTC; anything without a DTC yields no finding. Software
+// FRUs are invisible to OBD — their faults surface (if at all) as
+// plausibility DTCs against the hosting ECU.
+func (o *OBD) Advise(f core.FRU) (core.MaintenanceAction, core.FaultClass, bool) {
+	n := tt.NodeID(f.Component)
+	if o.HasDTC(n) {
+		return core.ActionReplaceComponent, core.ComponentInternal, true
+	}
+	return core.ActionNone, core.ClassUnknown, false
+}

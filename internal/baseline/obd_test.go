@@ -1,0 +1,94 @@
+package baseline_test
+
+import (
+	"decos/internal/baseline"
+	"testing"
+
+	"decos/internal/core"
+	"decos/internal/diagnosis"
+	"decos/internal/faults"
+	"decos/internal/scenario"
+	"decos/internal/sim"
+)
+
+func TestOBDRecordsPermanentFailure(t *testing.T) {
+	sys := scenario.Fig10(1, diagnosis.Options{})
+	sys.Injector.PermanentFailSilent(0, sim.Time(100*sim.Millisecond))
+	sys.Run(4000) // 4 s: well past the 500 ms threshold
+	if !sys.OBD.HasDTC(0) {
+		t.Fatalf("no DTC for dead component; codes: %v", sys.OBD.DTCs())
+	}
+	action, class, ok := sys.OBD.Advise(core.HardwareFRU(0))
+	if !ok || action != core.ActionReplaceComponent || class != core.ComponentInternal {
+		t.Errorf("Advise = %v/%v/%v", action, class, ok)
+	}
+}
+
+func TestOBDMissesShortTransients(t *testing.T) {
+	// The paper: failures significantly shorter than 500 ms cannot be
+	// detected by conventional OBD. A 10 ms EMI burst and a 50 ms outage
+	// must leave no DTC.
+	sys := scenario.Fig10(2, diagnosis.Options{})
+	sys.Injector.EMIBurst(sim.Time(100*sim.Millisecond), 0.5, 0, 2, 10*sim.Millisecond, 4)
+	sys.Injector.SEU(sim.Time(300*sim.Millisecond), 2)
+	sys.Run(4000)
+	if len(sys.OBD.DTCs()) != 0 {
+		t.Errorf("OBD recorded DTCs for sub-threshold transients: %v", sys.OBD.DTCs())
+	}
+}
+
+func TestOBDMissesIntermittentConnector(t *testing.T) {
+	// A fretting connector drops 30 % of frames — each gap lasts only a
+	// few slots, never 500 ms — so OBD stores nothing although the fault
+	// is real. This is exactly the paper's fault-not-found phenomenon.
+	sys := scenario.Fig10(3, diagnosis.Options{})
+	sys.Injector.ConnectorTx(0, sim.Time(50*sim.Millisecond), 0, 0.3)
+	sys.Run(4000)
+	if sys.OBD.HasDTC(0) {
+		t.Error("OBD recorded the sub-threshold intermittent connector")
+	}
+	_, _, found := sys.OBD.Advise(core.HardwareFRU(0))
+	if found {
+		t.Error("OBD advises on a fault it cannot see")
+	}
+	// The DECOS diagnosis, for comparison, identifies it.
+	if _, ok := sys.Diag.VerdictOf(core.HardwareFRU(0)); !ok {
+		t.Error("DECOS diagnosis also missed the connector fault")
+	}
+}
+
+func TestOBDBlamesECUForSoftwareFault(t *testing.T) {
+	// A Bohrbug produces persistently implausible values → plausibility
+	// DTC against the hosting ECU → replacement of healthy hardware
+	// (no-fault-found at the bench).
+	sys := scenario.Fig10(4, diagnosis.Options{})
+	sys.Injector.Bohrbug(sys.Sensor, scenario.ChSpeed,
+		func(v float64, now sim.Time) bool { return true }, 400)
+	sys.Run(4000)
+	if !sys.OBD.HasDTC(0) {
+		t.Fatalf("no plausibility DTC; codes: %v", sys.OBD.DTCs())
+	}
+	action, _, ok := sys.OBD.Advise(core.SoftwareFRU(0, "A/A1"))
+	if !ok || action != core.ActionReplaceComponent {
+		t.Errorf("OBD should recommend (wrongly) replacing the ECU, got %v/%v", action, ok)
+	}
+}
+
+func TestOBDCleanOnHealthyVehicle(t *testing.T) {
+	sys := scenario.Fig10(5, diagnosis.Options{})
+	sys.Run(3000)
+	if got := sys.OBD.DTCs(); len(got) != 0 {
+		t.Errorf("healthy vehicle has DTCs: %v", got)
+	}
+}
+
+func TestDTCString(t *testing.T) {
+	d := baseline.DTC{Component: 2, Code: "U", First: 100, Count: 3}
+	if d.String() == "" {
+		t.Error("empty DTC string")
+	}
+	_ = faults.OBDRecordThreshold
+	if baseline.DTCThreshold != faults.OBDRecordThreshold {
+		t.Error("threshold constants diverge")
+	}
+}

@@ -1,0 +1,71 @@
+package clock
+
+import "decos/internal/sim"
+
+// SparseBase is the sparse time base of the time-triggered architecture
+// (Kopetz, "Sparse time versus dense time in distributed real-time
+// systems"). Global time is partitioned into an alternating sequence of
+// activity granules of duration Pi and silence intervals of duration Delta.
+// Events that fall into the same granule are, by construction, simultaneous
+// for every node of the cluster; events in different granules are
+// consistently ordered. The diagnostic subsystem uses the granule index as
+// its "action lattice" coordinate: two symptoms carry the same lattice index
+// exactly when every correct observer agrees they happened at the same time.
+type SparseBase struct {
+	// Pi is the activity granule duration.
+	Pi sim.Duration
+	// Delta is the silence interval between granules.
+	Delta sim.Duration
+}
+
+// NewSparseBase returns a sparse time base with the given granule and
+// silence durations. It panics if either is non-positive: a dense time base
+// (Delta == 0) would forfeit the consistent ordering the diagnosis relies on.
+func NewSparseBase(pi, delta sim.Duration) *SparseBase {
+	if pi <= 0 || delta <= 0 {
+		panic("clock: sparse base requires positive granule and silence")
+	}
+	return &SparseBase{Pi: pi, Delta: delta}
+}
+
+// period returns the lattice period Pi+Delta.
+func (b *SparseBase) period() sim.Duration { return b.Pi + b.Delta }
+
+// Granule returns the action-lattice index of time t: the index of the
+// activity granule containing t, or, if t falls into a silence interval, the
+// index of the preceding granule (the event is attributed to the last
+// completed activity interval).
+func (b *SparseBase) Granule(t sim.Time) int64 {
+	return t.Micros() / b.period().Micros()
+}
+
+// GranuleStart returns the start time of granule g.
+func (b *SparseBase) GranuleStart(g int64) sim.Time {
+	return sim.Time(g * b.period().Micros())
+}
+
+// InActivity reports whether t falls inside an activity granule (as opposed
+// to a silence interval). A correct time-triggered system only generates
+// events during activity granules.
+func (b *SparseBase) InActivity(t sim.Time) bool {
+	phase := t.Micros() % b.period().Micros()
+	return phase < b.Pi.Micros()
+}
+
+// Simultaneous reports whether two events are simultaneous on the sparse
+// base, i.e. fall into the same granule.
+func (b *SparseBase) Simultaneous(t1, t2 sim.Time) bool {
+	return b.Granule(t1) == b.Granule(t2)
+}
+
+// Within reports whether the two times fall within delta granules of each
+// other — the "approximately at the same time (within a small delta)"
+// condition of the massive-transient fault pattern in the paper's Fig. 8.
+func (b *SparseBase) Within(t1, t2 sim.Time, delta int64) bool {
+	g1, g2 := b.Granule(t1), b.Granule(t2)
+	d := g1 - g2
+	if d < 0 {
+		d = -d
+	}
+	return d <= delta
+}

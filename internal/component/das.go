@@ -1,0 +1,74 @@
+package component
+
+import "decos/internal/vnet"
+
+// Criticality classifies a DAS into the two DECOS subsystems (paper Fig. 1):
+// safety-critical DASs run in the encapsulated ultra-dependable execution
+// environment; non-safety-critical DASs trade dependability for flexibility.
+type Criticality int
+
+const (
+	// NonSafetyCritical marks resource-efficient, flexible application
+	// subsystems.
+	NonSafetyCritical Criticality = iota
+	// SafetyCritical marks ultra-dependable subsystems; the paper assumes
+	// their jobs are certified free of software design faults.
+	SafetyCritical
+)
+
+func (c Criticality) String() string {
+	if c == SafetyCritical {
+		return "safety-critical"
+	}
+	return "non-safety-critical"
+}
+
+// DAS is a Distributed Application Subsystem: a set of jobs spread over
+// components, working towards a collective goal over the DAS's own virtual
+// networks.
+type DAS struct {
+	Name        string
+	Criticality Criticality
+	Jobs        []*Instance
+	Networks    []*vnet.Network
+}
+
+// JobNamed returns the DAS's job with the given name, or nil.
+func (d *DAS) JobNamed(name string) *Instance {
+	for _, j := range d.Jobs {
+		if j.Name == name {
+			return j
+		}
+	}
+	return nil
+}
+
+// ChannelSpec is the LIF (linking interface) specification of one channel:
+// the contract against which the diagnostic subsystem's symptom detectors
+// judge time- and value-domain conformance (paper Section II-E: a job
+// failure is a violation of the port specification in either domain).
+type ChannelSpec struct {
+	Channel vnet.ChannelID
+	// Name documents the signal.
+	Name string
+	// Min and Max bound correct payload values (value domain).
+	Min, Max float64
+	// MaxAgeRounds bounds staleness for state channels: a subscriber that
+	// has not received a valid update for more than this many rounds
+	// observes a time-domain violation. 0 disables the check (ET traffic).
+	MaxAgeRounds int64
+	// StuckRounds, when > 0, declares the signal dynamic: a value that
+	// stays bit-identical for this many consecutive rounds (while fresh
+	// messages keep arriving) is a plausibility violation — the stuck-at
+	// manifestation of a transducer fault.
+	StuckRounds int64
+	// Sensor marks the channel as carrying a transducer reading, so the
+	// diagnostic subsystem can hint job-inherent verdicts toward the
+	// sensor subclass.
+	Sensor bool
+}
+
+// Conforms reports whether a value lies within the spec's value domain.
+func (s ChannelSpec) Conforms(v float64) bool {
+	return v >= s.Min && v <= s.Max && v == v // NaN fails
+}

@@ -1,0 +1,131 @@
+package core
+
+import "fmt"
+
+// The fault-pattern vocabulary of the paper's Fig. 8: a fault pattern is
+// the characteristic manifestation of a fault type on the distributed state
+// in the three judgment dimensions time, space and value. The diagnostic
+// subsystem encodes patterns as Out-of-Norm Assertions; this package defines
+// the dimension signatures and the canonical patterns of Fig. 8.
+
+// TimeSignature characterizes the temporal shape of a symptom cluster.
+type TimeSignature int
+
+const (
+	// TimeArbitrary: occurrences at arbitrary instants (connector fault).
+	TimeArbitrary TimeSignature = iota
+	// TimeIncreasingFrequency: rate grows as time progresses (wearout).
+	TimeIncreasingFrequency
+	// TimeSimultaneous: occurrences within a small delta on the sparse
+	// time base (massive transient disturbance).
+	TimeSimultaneous
+	// TimePersistent: continuously present from onset (permanent fault).
+	TimePersistent
+)
+
+func (s TimeSignature) String() string {
+	return [...]string{"arbitrary", "increasing-frequency", "simultaneous", "persistent"}[s]
+}
+
+// SpaceSignature characterizes the spatial footprint of a symptom cluster.
+type SpaceSignature int
+
+const (
+	// SpaceOneComponent: all symptoms trace to one component.
+	SpaceOneComponent SpaceSignature = iota
+	// SpaceMultipleProximate: multiple components with spatial proximity.
+	SpaceMultipleProximate
+	// SpaceOneJob: all symptoms trace to one job (software FRU).
+	SpaceOneJob
+	// SpaceMultipleJobsOneComponent: several jobs of different DASs on the
+	// same component (the correlated-failure footprint of an internal
+	// hardware fault, Fig. 10).
+	SpaceMultipleJobsOneComponent
+)
+
+func (s SpaceSignature) String() string {
+	return [...]string{"one-component", "multiple-proximate", "one-job", "multiple-jobs-one-component"}[s]
+}
+
+// ValueSignature characterizes the value-domain manifestation.
+type ValueSignature int
+
+const (
+	// ValueOmissions: message omissions on a channel.
+	ValueOmissions ValueSignature = iota
+	// ValueMultiBitFlips: multiple bit flips (EMI burst corruption).
+	ValueMultiBitFlips
+	// ValueIncreasingDeviation: increasing deviation from the correct
+	// value, at the verge of becoming incorrect (wearout).
+	ValueIncreasingDeviation
+	// ValueOutOfSpec: content violates the LIF value specification.
+	ValueOutOfSpec
+	// ValueTimingViolation: send instants violate the LIF time spec.
+	ValueTimingViolation
+)
+
+func (s ValueSignature) String() string {
+	return [...]string{"omissions", "multi-bit-flips", "increasing-deviation", "out-of-spec", "timing-violation"}[s]
+}
+
+// Pattern is one fault pattern: a named signature triple plus the fault
+// class it evidences.
+type Pattern struct {
+	Name    string
+	Time    TimeSignature
+	Space   SpaceSignature
+	Value   ValueSignature
+	Implies FaultClass
+}
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s{time=%s, space=%s, value=%s => %s}",
+		p.Name, p.Time, p.Space, p.Value, p.Implies)
+}
+
+// The three example patterns of Fig. 8, plus the correlated-job pattern of
+// Fig. 10 that identifies component-internal faults in an integrated
+// architecture.
+var (
+	// PatternWearout: increasing frequency over time, one component only,
+	// increasing value deviation.
+	PatternWearout = Pattern{
+		Name:    "wearout",
+		Time:    TimeIncreasingFrequency,
+		Space:   SpaceOneComponent,
+		Value:   ValueIncreasingDeviation,
+		Implies: ComponentInternal,
+	}
+	// PatternMassiveTransient: approximately simultaneous, multiple
+	// components with spatial proximity, multiple bit flips.
+	PatternMassiveTransient = Pattern{
+		Name:    "massive-transient",
+		Time:    TimeSimultaneous,
+		Space:   SpaceMultipleProximate,
+		Value:   ValueMultiBitFlips,
+		Implies: ComponentExternal,
+	}
+	// PatternConnector: arbitrary times, one component only, omissions on
+	// a channel.
+	PatternConnector = Pattern{
+		Name:    "connector",
+		Time:    TimeArbitrary,
+		Space:   SpaceOneComponent,
+		Value:   ValueOmissions,
+		Implies: ComponentBorderline,
+	}
+	// PatternCorrelatedJobs: persistent correlated failures of multiple
+	// jobs of different DASs on one component.
+	PatternCorrelatedJobs = Pattern{
+		Name:    "correlated-jobs",
+		Time:    TimePersistent,
+		Space:   SpaceMultipleJobsOneComponent,
+		Value:   ValueOutOfSpec,
+		Implies: ComponentInternal,
+	}
+)
+
+// Fig8Patterns returns the three fault patterns of the paper's Fig. 8.
+func Fig8Patterns() []Pattern {
+	return []Pattern{PatternWearout, PatternMassiveTransient, PatternConnector}
+}

@@ -1,0 +1,58 @@
+package diagnosis
+
+// AlphaCount implements the α-count fault-discrimination mechanism the
+// paper adopts from Bondavalli et al. (FTCS'97) to separate transient
+// external disturbances from recurring internal faults (Section V-C): a
+// per-FRU score is incremented on every judgment step that observed an
+// error signal and decayed geometrically on clean steps. A score that
+// climbs past the threshold indicates recurrence at the same location —
+// the signature of an internal or intermittent fault — while isolated
+// transients decay back to zero.
+type AlphaCount struct {
+	// K is the decay factor applied on clean steps (0 ≤ K < 1; larger K
+	// remembers longer and is more sensitive to slow recurrences).
+	K float64
+	// Threshold is the score above which the FRU counts as affected by a
+	// non-transient fault.
+	Threshold float64
+
+	score map[FRUIndex]float64
+}
+
+// NewAlphaCount returns a mechanism with the given decay and threshold.
+func NewAlphaCount(k, threshold float64) *AlphaCount {
+	if k < 0 || k >= 1 {
+		panic("diagnosis: alpha-count decay K must be in [0,1)")
+	}
+	if threshold <= 0 {
+		panic("diagnosis: alpha-count threshold must be positive")
+	}
+	return &AlphaCount{K: k, Threshold: threshold, score: make(map[FRUIndex]float64)}
+}
+
+// Step records one judgment step for the FRU: erroneous increments the
+// score by weight (≥ 0 observations this step), clean steps decay it.
+func (a *AlphaCount) Step(f FRUIndex, erroneous bool, weight float64) {
+	if erroneous {
+		if weight <= 0 {
+			weight = 1
+		}
+		a.score[f] += weight
+		return
+	}
+	s := a.score[f] * a.K
+	if s < 1e-9 {
+		delete(a.score, f)
+		return
+	}
+	a.score[f] = s
+}
+
+// Score returns the current score of the FRU.
+func (a *AlphaCount) Score(f FRUIndex) float64 { return a.score[f] }
+
+// Exceeded reports whether the FRU's score passed the threshold.
+func (a *AlphaCount) Exceeded(f FRUIndex) bool { return a.score[f] > a.Threshold }
+
+// Reset clears the FRU's score (after repair).
+func (a *AlphaCount) Reset(f FRUIndex) { delete(a.score, f) }

@@ -1,0 +1,435 @@
+package diagnosis
+
+import (
+	"sort"
+
+	"decos/internal/core"
+	"decos/internal/sim"
+	"decos/internal/vnet"
+)
+
+// Options tunes the diagnostic subsystem. Zero values are replaced by the
+// defaults of DefaultOptions.
+type Options struct {
+	// EpochRounds is the assessment period: ONAs are evaluated and trust
+	// levels updated every EpochRounds TDMA rounds.
+	EpochRounds int64
+	// WindowGranules is the ONA lookback horizon.
+	WindowGranules int64
+	// RetainGranules bounds the distributed-state history.
+	RetainGranules int64
+	// ProximityRadius is the spatial-correlation radius of the
+	// massive-transient pattern.
+	ProximityRadius float64
+	// BurstGranules is the temporal delta of the massive-transient
+	// pattern ("approximately at the same time").
+	BurstGranules int64
+	// MultiBitThreshold is the flipped-bit count separating multi-bit
+	// (EMI) from single-bit (SEU) corruption.
+	MultiBitThreshold float64
+	// PermanentWindow and PermanentDuty define continuous service loss.
+	PermanentWindow int64
+	PermanentDuty   float64
+	// RiseFactor is the episode-rate growth identifying wearout.
+	RiseFactor float64
+	// AlphaK and AlphaThreshold parameterize the α-count mechanism.
+	AlphaK         float64
+	AlphaThreshold float64
+	// MinRecurrentGranules is the minimum distinct symptomatic granules
+	// for recurrence-based patterns.
+	MinRecurrentGranules int
+	// OverflowMin is the minimum overflow count for a configuration
+	// verdict.
+	OverflowMin int
+	// DiagAllocBytes and DiagQueueCap dimension the virtual diagnostic
+	// network per component.
+	DiagAllocBytes int
+	DiagQueueCap   int
+	// DiagChannelBase is the first channel id of the diagnostic network.
+	DiagChannelBase vnet.ChannelID
+	// UpdateAvailable reports whether the OEM has released a corrected
+	// version of a software FRU (drives update-software vs
+	// forward-to-OEM). Nil means no updates available.
+	UpdateAvailable func(core.FRU) bool
+	// JobInternalAssertions enables the Section III-D extension: monitors
+	// query jobs implementing component.SelfChecker, and the job-inherent
+	// verdict splits exactly into the software and transducer subclasses.
+	JobInternalAssertions bool
+	// KeepMonitorLogs retains every emitted symptom on each monitor.
+	KeepMonitorLogs bool
+}
+
+// DefaultOptions returns the tuning used throughout the experiments.
+func DefaultOptions() Options {
+	return Options{
+		EpochRounds:       50,
+		WindowGranules:    400,
+		RetainGranules:    1200,
+		ProximityRadius:   3.0,
+		BurstGranules:     15,
+		MultiBitThreshold: 2,
+		// The fault hypothesis bounds transient outages at 50 ms (50
+		// granules); continuous loss must persist well beyond that before
+		// it counts as permanent.
+		PermanentWindow:      80,
+		PermanentDuty:        0.9,
+		RiseFactor:           2,
+		AlphaK:               0.9,
+		AlphaThreshold:       2.5,
+		MinRecurrentGranules: 3,
+		OverflowMin:          3,
+		DiagAllocBytes:       64,
+		DiagQueueCap:         512,
+		DiagChannelBase:      60000,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.EpochRounds <= 0 {
+		o.EpochRounds = d.EpochRounds
+	}
+	if o.WindowGranules <= 0 {
+		o.WindowGranules = d.WindowGranules
+	}
+	if o.RetainGranules <= 0 {
+		o.RetainGranules = d.RetainGranules
+	}
+	if o.ProximityRadius <= 0 {
+		o.ProximityRadius = d.ProximityRadius
+	}
+	if o.BurstGranules <= 0 {
+		o.BurstGranules = d.BurstGranules
+	}
+	if o.MultiBitThreshold <= 0 {
+		o.MultiBitThreshold = d.MultiBitThreshold
+	}
+	if o.PermanentWindow <= 0 {
+		o.PermanentWindow = d.PermanentWindow
+	}
+	if o.PermanentDuty <= 0 {
+		o.PermanentDuty = d.PermanentDuty
+	}
+	if o.RiseFactor <= 0 {
+		o.RiseFactor = d.RiseFactor
+	}
+	if o.AlphaK <= 0 {
+		o.AlphaK = d.AlphaK
+	}
+	if o.AlphaThreshold <= 0 {
+		o.AlphaThreshold = d.AlphaThreshold
+	}
+	if o.MinRecurrentGranules <= 0 {
+		o.MinRecurrentGranules = d.MinRecurrentGranules
+	}
+	if o.OverflowMin <= 0 {
+		o.OverflowMin = d.OverflowMin
+	}
+	if o.DiagAllocBytes <= 0 {
+		o.DiagAllocBytes = d.DiagAllocBytes
+	}
+	if o.DiagQueueCap <= 0 {
+		o.DiagQueueCap = d.DiagQueueCap
+	}
+	if o.DiagChannelBase == 0 {
+		o.DiagChannelBase = d.DiagChannelBase
+	}
+	return o
+}
+
+// Verdict is one classification of one FRU by the diagnostic DAS.
+type Verdict struct {
+	Epoch       int64
+	At          sim.Time
+	Subject     FRUIndex
+	FRU         core.FRU
+	Class       core.FaultClass
+	Persistence core.Persistence
+	Pattern     string
+	Confidence  float64
+	Action      core.MaintenanceAction
+}
+
+// TrustPoint is one sample of a FRU's trust trajectory (Fig. 9).
+type TrustPoint struct {
+	At      sim.Time
+	Granule int64
+	Trust   core.TrustLevel
+}
+
+// Assessor is the analysis stage of the diagnostic DAS: it consumes the
+// symptom stream from the virtual diagnostic network, maintains the
+// distributed-state history, α-counts and per-FRU trust levels, and
+// evaluates the ONA suite at every assessment epoch.
+type Assessor struct {
+	Reg   *Registry
+	Hist  *History
+	Alpha *AlphaCount
+	SW    *AlphaCount
+
+	onas []ONA
+	opts Options
+
+	ports []*vnet.InPort
+
+	trust     map[FRUIndex]float64
+	trustHist map[FRUIndex][]TrustPoint
+	current   map[FRUIndex]Verdict
+	emitted   []Verdict
+	epoch     int64
+
+	// SymptomsReceived counts decoded symptom records.
+	SymptomsReceived int
+	// DecodeFailures counts undecodable diagnostic messages (corrupted
+	// diagnostic traffic).
+	DecodeFailures int
+
+	symptomHooks []func(Symptom)
+}
+
+// OnSymptom registers a callback invoked for every ingested symptom (trace
+// recording, live dashboards).
+func (a *Assessor) OnSymptom(f func(Symptom)) { a.symptomHooks = append(a.symptomHooks, f) }
+
+// NewAssessor creates an assessor over the given registry.
+func NewAssessor(reg *Registry, opts Options) *Assessor {
+	opts = opts.withDefaults()
+	a := &Assessor{
+		Reg:       reg,
+		Hist:      NewHistory(opts.RetainGranules),
+		Alpha:     NewAlphaCount(opts.AlphaK, opts.AlphaThreshold),
+		SW:        NewAlphaCount(opts.AlphaK, opts.AlphaThreshold),
+		onas:      DefaultONAs(),
+		opts:      opts,
+		trust:     make(map[FRUIndex]float64),
+		trustHist: make(map[FRUIndex][]TrustPoint),
+		current:   make(map[FRUIndex]Verdict),
+	}
+	for i := 0; i < reg.Len(); i++ {
+		a.trust[FRUIndex(i)] = 1
+	}
+	return a
+}
+
+// Options returns the effective (defaulted) options.
+func (a *Assessor) Options() Options { return a.opts }
+
+// Ingest adds one symptom to the distributed state (used directly by tests
+// and by the fast-path campaign driver; the attached cluster path goes
+// through the diagnostic network ports).
+func (a *Assessor) Ingest(s Symptom) {
+	a.Hist.Add(s)
+	a.SymptomsReceived++
+	for _, f := range a.symptomHooks {
+		f(s)
+	}
+}
+
+// drainPorts decodes everything queued on the diagnostic in-ports.
+func (a *Assessor) drainPorts() {
+	for _, p := range a.ports {
+		for {
+			m, ok := p.Receive()
+			if !ok {
+				break
+			}
+			s, ok := DecodeSymptom(m.Payload)
+			if !ok {
+				a.DecodeFailures++
+				continue
+			}
+			a.Ingest(s)
+		}
+	}
+}
+
+// onRound is invoked once per TDMA round by the attached cluster.
+func (a *Assessor) onRound(round int64, now sim.Time) {
+	a.drainPorts()
+	if (round+1)%a.opts.EpochRounds == 0 {
+		a.evaluateEpoch(round, now)
+	}
+}
+
+// EvaluateNow forces an epoch evaluation at the given granule/time (used by
+// the fast-path campaign driver).
+func (a *Assessor) EvaluateNow(granule int64, now sim.Time) {
+	a.evaluateEpoch(granule, now)
+}
+
+func (a *Assessor) evaluateEpoch(granule int64, now sim.Time) {
+	a.epoch++
+	ctx := &EvalContext{
+		Hist:      a.Hist,
+		Reg:       a.Reg,
+		Alpha:     a.Alpha,
+		SW:        a.SW,
+		Granule:   granule,
+		Window:    a.opts.WindowGranules,
+		Opts:      a.opts,
+		Explained: make(map[FRUIndex]bool),
+		Decided:   make(map[FRUIndex]core.FaultClass),
+	}
+
+	decided := make(map[FRUIndex]Finding)
+	// Gating assertions first: spatial correlation (massive transient)
+	// and receiver-side connector attribution. Both also gate the α-count
+	// update, so symptoms they explain do not accumulate as recurrence
+	// evidence against the FRUs they name.
+	for _, ona := range a.onas[:GatingONAs] {
+		for _, f := range ona.Evaluate(ctx) {
+			if _, dup := decided[f.Subject]; dup {
+				continue
+			}
+			decided[f.Subject] = f
+			ctx.Explained[f.Subject] = true
+			ctx.Decided[f.Subject] = f.Class
+			for _, e := range f.Explains {
+				if _, dup := decided[e]; !dup {
+					ctx.Explained[e] = true
+				}
+			}
+		}
+	}
+
+	// α-count step over this epoch's evidence.
+	epochFrom := granule - a.opts.EpochRounds + 1
+	if epochFrom < 0 {
+		epochFrom = 0
+	}
+	for _, hw := range a.Reg.HardwareFRUs() {
+		erroneous := !ctx.Explained[hw] && a.Hist.Count(hw, epochFrom, granule, frameLevel) > 0
+		a.Alpha.Step(hw, erroneous, 1)
+	}
+	for _, sw := range a.Reg.SoftwareFRUs() {
+		erroneous := a.Hist.Count(sw, epochFrom, granule, valueViolation) > 0
+		a.SW.Step(sw, erroneous, 1)
+	}
+
+	// Remaining assertions in priority order.
+	for _, ona := range a.onas[GatingONAs:] {
+		for _, f := range ona.Evaluate(ctx) {
+			if _, dup := decided[f.Subject]; dup || ctx.Explained[f.Subject] {
+				continue
+			}
+			decided[f.Subject] = f
+			ctx.Decided[f.Subject] = f.Class
+			for _, e := range f.Explains {
+				if _, dup := decided[e]; !dup {
+					ctx.Explained[e] = true
+				}
+			}
+		}
+	}
+
+	// Emit verdicts (deterministic order).
+	subjects := make([]FRUIndex, 0, len(decided))
+	for s := range decided {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	for _, s := range subjects {
+		f := decided[s]
+		fru := a.Reg.FRU(s)
+		update := false
+		if a.opts.UpdateAvailable != nil {
+			update = a.opts.UpdateAvailable(fru)
+		}
+		// The merged inherent verdict consults the software-update flag
+		// too: with an acknowledged update the software subclass is
+		// implied.
+		actionClass := f.Class
+		if f.Class == core.JobInherent && update {
+			actionClass = core.JobInherentSoftware
+		}
+		v := Verdict{
+			Epoch:       a.epoch,
+			At:          now,
+			Subject:     s,
+			FRU:         fru,
+			Class:       f.Class,
+			Persistence: f.Persistence,
+			Pattern:     f.Pattern,
+			Confidence:  f.Confidence,
+			Action:      core.ActionFor(actionClass, update),
+		}
+		prev, had := a.current[s]
+		a.current[s] = v
+		if !had || prev.Class != v.Class || prev.Pattern != v.Pattern {
+			a.emitted = append(a.emitted, v)
+		}
+	}
+
+	a.updateTrust(decided, granule, now, epochFrom)
+}
+
+func (a *Assessor) updateTrust(decided map[FRUIndex]Finding, granule int64, now sim.Time, epochFrom int64) {
+	for i := 0; i < a.Reg.Len(); i++ {
+		f := FRUIndex(i)
+		var weight int
+		if a.Reg.IsHardware(f) {
+			weight = a.Hist.Count(f, epochFrom, granule, frameLevel)
+		} else {
+			weight = a.Hist.Count(f, epochFrom, granule, KindIn(SymValue, SymStale, SymStuck, SymReplica, SymOverflow))
+		}
+		t := a.trust[f]
+		if weight == 0 {
+			t += 0.1 * (1 - t)
+		} else {
+			sev := float64(weight) / 20
+			if sev > 1 {
+				sev = 1
+			}
+			impact := 0.35
+			if v, ok := decided[f]; ok && v.Class == core.ComponentExternal {
+				impact = 0.12 // external hits erode confidence only briefly
+			}
+			t -= impact * sev
+		}
+		t = float64(core.TrustLevel(t).Clamp())
+		a.trust[f] = t
+		a.trustHist[f] = append(a.trustHist[f], TrustPoint{At: now, Granule: granule, Trust: core.TrustLevel(t)})
+	}
+}
+
+// Trust returns the FRU's current trust level.
+func (a *Assessor) Trust(f FRUIndex) core.TrustLevel {
+	return core.TrustLevel(a.trust[f])
+}
+
+// TrustHistory returns the FRU's trust trajectory, one point per epoch.
+func (a *Assessor) TrustHistory(f FRUIndex) []TrustPoint { return a.trustHist[f] }
+
+// Current returns the FRU's standing verdict.
+func (a *Assessor) Current(f FRUIndex) (Verdict, bool) {
+	v, ok := a.current[f]
+	return v, ok
+}
+
+// CurrentAll returns the standing verdict of every FRU that has one, in
+// subject order.
+func (a *Assessor) CurrentAll() []Verdict {
+	var out []Verdict
+	for i := 0; i < a.Reg.Len(); i++ {
+		if v, ok := a.current[FRUIndex(i)]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Emitted returns every verdict emission (first classifications and class
+// changes) in order.
+func (a *Assessor) Emitted() []Verdict { return a.emitted }
+
+// Epoch returns the number of completed assessment epochs.
+func (a *Assessor) Epoch() int64 { return a.epoch }
+
+// ClearVerdict forgets the FRU's verdict and resets its recurrence scores
+// (after a repair action).
+func (a *Assessor) ClearVerdict(f FRUIndex) {
+	delete(a.current, f)
+	a.Alpha.Reset(f)
+	a.SW.Reset(f)
+	a.trust[f] = 1
+}

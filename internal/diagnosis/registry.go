@@ -1,0 +1,210 @@
+// Package diagnosis implements the DECOS integrated diagnostic services
+// (paper Section II-D and V): local symptom detection against the LIF
+// specifications at every component, dissemination of symptom messages over
+// a dedicated virtual diagnostic network, and the encapsulated diagnostic
+// DAS that evaluates Out-of-Norm Assertions (ONAs) on the distributed
+// state, maintains α-counts and per-FRU trust levels, classifies
+// experienced failures into the maintenance-oriented fault model's classes
+// and derives the maintenance action of the paper's Fig. 11.
+package diagnosis
+
+import (
+	"fmt"
+
+	"decos/internal/component"
+	"decos/internal/core"
+	"decos/internal/tt"
+	"decos/internal/vnet"
+)
+
+// FRUIndex is a compact identifier for a FRU inside symptom messages. The
+// registry mapping indices to FRUs is static configuration data shared by
+// all diagnostic participants.
+type FRUIndex uint16
+
+// NoFRU marks "no subject" (never a valid index).
+const NoFRU FRUIndex = 0xffff
+
+// ChannelMeta is the static per-channel knowledge of the diagnostic
+// configuration: the LIF spec and the producing FRUs.
+type ChannelMeta struct {
+	Spec component.ChannelSpec
+	// ProducerJob is the software FRU producing the channel.
+	ProducerJob FRUIndex
+	// ProducerComp is the hardware FRU hosting the producer.
+	ProducerComp FRUIndex
+	// DAS names the owning subsystem.
+	DAS string
+}
+
+// Registry is the static diagnostic configuration of one cluster: FRU
+// table, channel metadata and component geometry. It is derived
+// deterministically from the cluster configuration.
+type Registry struct {
+	frus    []core.FRU
+	index   map[core.FRU]FRUIndex
+	hwOf    map[FRUIndex]FRUIndex // software FRU -> hosting hardware FRU
+	dasOf   map[FRUIndex]string   // software FRU -> DAS name
+	compPos map[FRUIndex][2]float64
+	channel map[vnet.ChannelID]ChannelMeta
+	node    map[FRUIndex]tt.NodeID // hardware FRU -> node id
+}
+
+// NewRegistry builds the registry for a cluster: one hardware FRU per
+// component (in node order), then one software FRU per job (in DAS/job
+// order).
+func NewRegistry(cl *component.Cluster) *Registry {
+	r := &Registry{
+		index:   make(map[core.FRU]FRUIndex),
+		hwOf:    make(map[FRUIndex]FRUIndex),
+		dasOf:   make(map[FRUIndex]string),
+		compPos: make(map[FRUIndex][2]float64),
+		channel: make(map[vnet.ChannelID]ChannelMeta),
+		node:    make(map[FRUIndex]tt.NodeID),
+	}
+	add := func(f core.FRU) FRUIndex {
+		idx := FRUIndex(len(r.frus))
+		r.frus = append(r.frus, f)
+		r.index[f] = idx
+		return idx
+	}
+	for _, c := range cl.Components() {
+		idx := add(core.HardwareFRU(int(c.ID)))
+		r.compPos[idx] = [2]float64{c.X, c.Y}
+		r.node[idx] = c.ID
+	}
+	for _, d := range cl.DASs() {
+		for _, j := range d.Jobs {
+			idx := add(core.SoftwareFRU(int(j.Comp.ID), d.Name+"/"+j.Name))
+			r.hwOf[idx] = r.index[core.HardwareFRU(int(j.Comp.ID))]
+			r.dasOf[idx] = d.Name
+		}
+	}
+	for ch, spec := range cl.Specs() {
+		j := cl.Producer(ch)
+		if j == nil {
+			continue
+		}
+		jobFRU := core.SoftwareFRU(int(j.Comp.ID), j.DAS.Name+"/"+j.Name)
+		r.channel[ch] = ChannelMeta{
+			Spec:         spec,
+			ProducerJob:  r.index[jobFRU],
+			ProducerComp: r.index[core.HardwareFRU(int(j.Comp.ID))],
+			DAS:          j.DAS.Name,
+		}
+	}
+	return r
+}
+
+// Len returns the number of registered FRUs.
+func (r *Registry) Len() int { return len(r.frus) }
+
+// FRU returns the FRU at the given index.
+func (r *Registry) FRU(i FRUIndex) core.FRU {
+	if int(i) >= len(r.frus) {
+		panic(fmt.Sprintf("diagnosis: FRU index %d out of range", i))
+	}
+	return r.frus[i]
+}
+
+// Index returns the index of a FRU; ok=false if unknown.
+func (r *Registry) Index(f core.FRU) (FRUIndex, bool) {
+	i, ok := r.index[f]
+	return i, ok
+}
+
+// HardwareIndex returns the hardware FRU index of a component node.
+func (r *Registry) HardwareIndex(n tt.NodeID) (FRUIndex, bool) {
+	return r.Index(core.HardwareFRU(int(n)))
+}
+
+// Node returns the node id of a hardware FRU.
+func (r *Registry) Node(i FRUIndex) (tt.NodeID, bool) {
+	n, ok := r.node[i]
+	return n, ok
+}
+
+// HostOf returns the hardware FRU hosting a software FRU (or the argument
+// itself if it already is hardware).
+func (r *Registry) HostOf(i FRUIndex) FRUIndex {
+	if hw, ok := r.hwOf[i]; ok {
+		return hw
+	}
+	return i
+}
+
+// DASOf returns the DAS name of a software FRU ("" for hardware FRUs).
+func (r *Registry) DASOf(i FRUIndex) string { return r.dasOf[i] }
+
+// IsHardware reports whether index i names a component.
+func (r *Registry) IsHardware(i FRUIndex) bool {
+	return int(i) < len(r.frus) && r.frus[i].IsHardware()
+}
+
+// JobsOn returns the software FRU indices hosted on hardware FRU hw.
+func (r *Registry) JobsOn(hw FRUIndex) []FRUIndex {
+	var out []FRUIndex
+	for i := range r.frus {
+		idx := FRUIndex(i)
+		if h, ok := r.hwOf[idx]; ok && h == hw {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Position returns the coordinates of a hardware FRU.
+func (r *Registry) Position(i FRUIndex) ([2]float64, bool) {
+	p, ok := r.compPos[i]
+	return p, ok
+}
+
+// Distance returns the Euclidean distance between two hardware FRUs (+Inf
+// when either is unknown).
+func (r *Registry) Distance(a, b FRUIndex) float64 {
+	pa, oka := r.compPos[a]
+	pb, okb := r.compPos[b]
+	if !oka || !okb {
+		return 1e308
+	}
+	dx, dy := pa[0]-pb[0], pa[1]-pb[1]
+	d2 := dx*dx + dy*dy
+	// Cheap sqrt via Newton (avoid importing math for one call site).
+	if d2 == 0 {
+		return 0
+	}
+	x := d2
+	for i := 0; i < 32; i++ {
+		x = 0.5 * (x + d2/x)
+	}
+	return x
+}
+
+// Channel returns the metadata of a channel; ok=false if the channel has no
+// registered spec.
+func (r *Registry) Channel(ch vnet.ChannelID) (ChannelMeta, bool) {
+	m, ok := r.channel[ch]
+	return m, ok
+}
+
+// HardwareFRUs returns all hardware FRU indices in node order.
+func (r *Registry) HardwareFRUs() []FRUIndex {
+	var out []FRUIndex
+	for i, f := range r.frus {
+		if f.IsHardware() {
+			out = append(out, FRUIndex(i))
+		}
+	}
+	return out
+}
+
+// SoftwareFRUs returns all software FRU indices.
+func (r *Registry) SoftwareFRUs() []FRUIndex {
+	var out []FRUIndex
+	for i, f := range r.frus {
+		if !f.IsHardware() {
+			out = append(out, FRUIndex(i))
+		}
+	}
+	return out
+}

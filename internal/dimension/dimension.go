@@ -1,0 +1,145 @@
+// Package dimension synthesizes virtual-network configurations from a
+// communication model — the tool-supported configuration step the paper's
+// Section IV-B.2 describes (cf. TTP-Tools): frame-segment allocations and
+// queue capacities are derived from assumed traffic characteristics.
+//
+// The package exists for both directions of the story: correctly stated
+// models yield configurations under which no queue ever overflows, while a
+// legacy application whose real traffic violates the modelled assumptions
+// ("a subset of the assumptions … was made implicitly and not described in
+// technical documentation") produces exactly the job-borderline
+// configuration faults of the maintenance-oriented fault model.
+package dimension
+
+import (
+	"fmt"
+	"math"
+
+	"decos/internal/tt"
+	"decos/internal/vnet"
+)
+
+// ChannelModel states the assumed traffic of one channel.
+type ChannelModel struct {
+	Channel  vnet.ChannelID
+	Producer tt.NodeID
+	Network  string
+	Kind     vnet.Kind
+	// PayloadBytes is the per-message payload size.
+	PayloadBytes int
+	// MeanPerRound is the assumed mean message rate (ET only; TT state
+	// channels publish exactly once per round).
+	MeanPerRound float64
+	// BurstFactor scales the mean to the assumed worst-case burst (ET
+	// only; ≥ 1). Queues and segments are dimensioned for mean × burst.
+	BurstFactor float64
+	// LatencyRounds is the tolerated queuing delay: bursts may spread
+	// over this many rounds before messages must have drained.
+	LatencyRounds int
+}
+
+// messagesPerRound returns the dimensioning rate.
+func (m ChannelModel) messagesPerRound() float64 {
+	if m.Kind == vnet.TimeTriggered {
+		return 1
+	}
+	b := m.BurstFactor
+	if b < 1 {
+		b = 1
+	}
+	return m.MeanPerRound * b
+}
+
+// Plan is a synthesized configuration: per-(network, node) frame-segment
+// sizes and queue capacities.
+type Plan struct {
+	// SegmentBytes[network][node] is the frame allocation.
+	SegmentBytes map[string]map[tt.NodeID]int
+	// SendQueue[network][node] is the outbound queue capacity.
+	SendQueue map[string]map[tt.NodeID]int
+	// ReceiveQueue[channel] is the subscriber queue capacity.
+	ReceiveQueue map[vnet.ChannelID]int
+}
+
+// Dimension synthesizes a plan from the channel models.
+func Dimension(models []ChannelModel) Plan {
+	p := Plan{
+		SegmentBytes: map[string]map[tt.NodeID]int{},
+		SendQueue:    map[string]map[tt.NodeID]int{},
+		ReceiveQueue: map[vnet.ChannelID]int{},
+	}
+	for _, m := range models {
+		rate := m.messagesPerRound()
+		wire := vnet.WireSize(m.PayloadBytes)
+
+		// Segment: enough for the per-round share of the (burst) rate,
+		// at least one message.
+		perRound := int(math.Ceil(rate))
+		if perRound < 1 {
+			perRound = 1
+		}
+		seg := perRound * wire
+		if p.SegmentBytes[m.Network] == nil {
+			p.SegmentBytes[m.Network] = map[tt.NodeID]int{}
+			p.SendQueue[m.Network] = map[tt.NodeID]int{}
+		}
+		p.SegmentBytes[m.Network][m.Producer] += seg
+
+		// Queues: absorb the modelled burst across the tolerated latency.
+		lat := m.LatencyRounds
+		if lat < 1 {
+			lat = 1
+		}
+		q := int(math.Ceil(rate * float64(lat)))
+		if q < 2 {
+			q = 2
+		}
+		if m.Kind == vnet.EventTriggered {
+			p.SendQueue[m.Network][m.Producer] += q
+			p.ReceiveQueue[m.Channel] = q
+		} else {
+			p.ReceiveQueue[m.Channel] = 1
+		}
+	}
+	return p
+}
+
+// Validate checks the plan against the core-network frame budget, given
+// extra reserved bytes per node (e.g. the diagnostic network's segment).
+func (p Plan) Validate(cfg tt.Config, reservedBytes int) error {
+	total := map[tt.NodeID]int{}
+	for _, perNode := range p.SegmentBytes {
+		for n, b := range perNode {
+			total[n] += b
+		}
+	}
+	for n, b := range total {
+		if b+reservedBytes > cfg.PayloadBytes {
+			return fmt.Errorf("dimension: node %d needs %d+%d bytes, frame carries %d",
+				n, b, reservedBytes, cfg.PayloadBytes)
+		}
+	}
+	return nil
+}
+
+// Apply configures a network's endpoints per the plan. Channels must
+// already be declared by the caller (the plan only sizes resources).
+func (p Plan) Apply(n *vnet.Network, nodes []tt.NodeID) {
+	for _, node := range nodes {
+		seg := p.SegmentBytes[n.Name][node]
+		if seg == 0 {
+			continue
+		}
+		n.AddEndpoint(node, seg, p.SendQueue[n.Name][node])
+	}
+}
+
+// Sufficient reports whether the plan's dimensioning covers actual traffic
+// with the given observed mean rate and burst on channel ch — the check a
+// correctly documented model passes and an implicit legacy assumption
+// fails.
+func (p Plan) Sufficient(ch vnet.ChannelID, observedMeanPerRound, observedBurst float64) bool {
+	q := p.ReceiveQueue[ch]
+	need := observedMeanPerRound * observedBurst
+	return float64(q) >= need
+}

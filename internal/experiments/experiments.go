@@ -1,0 +1,159 @@
+// Package experiments regenerates every figure of the paper as an
+// executable measurement (experiments E1–E8 of DESIGN.md) plus the
+// ablations A1–A4. Each experiment returns a Result with a human-readable
+// table and structured metrics; cmd/decos-bench prints them and the
+// repo-root benchmarks time them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	// ID is the experiment identifier (E1..E8, A1..A4).
+	ID string
+	// Figure names the paper artifact the experiment regenerates.
+	Figure string
+	// Table is the formatted report.
+	Table string
+	// Metrics carries the headline numbers for EXPERIMENTS.md and
+	// assertions in tests.
+	Metrics map[string]float64
+}
+
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n%s", r.ID, r.Figure, r.Table)
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.4g", k, r.Metrics[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// All runs every experiment with the given base seed, in order.
+func All(seed uint64) []*Result {
+	return []*Result{
+		E1CoreServices(seed),
+		E2Chain(seed),
+		E3Bathtub(seed),
+		E4Patterns(seed),
+		E5Trust(seed),
+		E6Judgment(seed),
+		E7Actions(seed),
+		E8NFF(seed),
+		E9MultiFault(seed),
+		E10Scale(seed),
+		E11RepairLoop(seed),
+		E12Robustness(seed),
+		A1WindowSweep(seed),
+		A2AlphaSweep(seed),
+		A3Encapsulation(seed),
+		A4QueueSweep(seed),
+		A5DiagBandwidth(seed),
+	}
+}
+
+// ByID runs the experiment with the given identifier (case-insensitive).
+func ByID(id string, seed uint64) (*Result, bool) {
+	switch strings.ToUpper(id) {
+	case "E1":
+		return E1CoreServices(seed), true
+	case "E2":
+		return E2Chain(seed), true
+	case "E3":
+		return E3Bathtub(seed), true
+	case "E4":
+		return E4Patterns(seed), true
+	case "E5":
+		return E5Trust(seed), true
+	case "E6":
+		return E6Judgment(seed), true
+	case "E7":
+		return E7Actions(seed), true
+	case "E8":
+		return E8NFF(seed), true
+	case "E9":
+		return E9MultiFault(seed), true
+	case "E10":
+		return E10Scale(seed), true
+	case "E11":
+		return E11RepairLoop(seed), true
+	case "E12":
+		return E12Robustness(seed), true
+	case "A1":
+		return A1WindowSweep(seed), true
+	case "A2":
+		return A2AlphaSweep(seed), true
+	case "A3":
+		return A3Encapsulation(seed), true
+	case "A4":
+		return A4QueueSweep(seed), true
+	case "A5":
+		return A5DiagBandwidth(seed), true
+	}
+	return nil, false
+}
+
+// table is a tiny fixed-width table builder.
+type table struct {
+	b      strings.Builder
+	widths []int
+	rows   [][]string
+	header []string
+}
+
+func newTable(header ...string) *table {
+	t := &table{header: header}
+	for _, h := range header {
+		t.widths = append(t.widths, len(h))
+	}
+	return t
+}
+
+func (t *table) row(cells ...any) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		s := fmt.Sprint(c)
+		if f, ok := c.(float64); ok {
+			s = fmt.Sprintf("%.3g", f)
+		}
+		strs[i] = s
+		for len(t.widths) <= i {
+			t.widths = append(t.widths, 0)
+		}
+		if len(s) > t.widths[i] {
+			t.widths[i] = len(s)
+		}
+	}
+	t.rows = append(t.rows, strs)
+}
+
+func (t *table) String() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", t.widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"fmt"
+
+	"decos/internal/component"
+	"decos/internal/core"
+	"decos/internal/sim"
+	"decos/internal/vnet"
+)
+
+// Activation is one injected fault: the ground truth the maintenance
+// auditor compares diagnostic verdicts against. The diagnostic subsystem
+// never reads the ledger.
+type Activation struct {
+	ID          int
+	Class       core.FaultClass
+	Persistence core.Persistence
+	// Culprit is the FRU a correct maintenance action would address. For
+	// component-external faults there is no culprit FRU (replacing
+	// anything would be a no-fault-found removal); Culprit is the zero FRU
+	// with Component == -1 in that case.
+	Culprit core.FRU
+	// Affected lists the FRUs whose service the fault disturbs.
+	Affected []core.FRU
+	Start    sim.Time
+	// End closes the activation window; 0 = open-ended (permanent).
+	End    sim.Time
+	Detail string
+	// Chain is the recorded fault-error-failure trace (experiment E2).
+	Chain core.Chain
+	// Episodes records individual manifestation instants (transient
+	// episodes, EMI hits), capped to keep long campaigns bounded.
+	Episodes []sim.Time
+
+	deactivated bool
+	undo        []func()
+}
+
+// Active reports whether the fault is still present in the system (i.e.
+// not repaired). Manifestation hooks check this, so a Deactivate models
+// the physical effect of the correct repair.
+func (a *Activation) Active() bool { return !a.deactivated }
+
+// OnDeactivate registers cleanup run when the fault is repaired.
+func (a *Activation) OnDeactivate(f func()) { a.undo = append(a.undo, f) }
+
+// Deactivate removes the fault from the system — the effect of the
+// maintenance action that actually addresses it (component swap, connector
+// re-seat, configuration update, software update, transducer replacement).
+// Idempotent.
+func (a *Activation) Deactivate() {
+	if a.deactivated {
+		return
+	}
+	a.deactivated = true
+	for _, f := range a.undo {
+		f()
+	}
+	a.undo = nil
+}
+
+// NoCulprit marks activations without a replaceable culprit.
+var NoCulprit = core.FRU{Component: -1}
+
+// ActiveAt reports whether the activation window covers time t.
+func (a *Activation) ActiveAt(t sim.Time) bool {
+	if t < a.Start {
+		return false
+	}
+	return a.End == 0 || t <= a.End
+}
+
+func (a *Activation) String() string {
+	return fmt.Sprintf("#%d %s/%s %s [%v..%v] %s",
+		a.ID, a.Class, a.Persistence, a.Culprit, a.Start, a.End, a.Detail)
+}
+
+const maxEpisodeLog = 10_000
+
+func (a *Activation) logEpisode(t sim.Time) {
+	if len(a.Episodes) < maxEpisodeLog {
+		a.Episodes = append(a.Episodes, t)
+	}
+}
+
+// Injector drives fault manifestations on one cluster and keeps the
+// ground-truth ledger.
+type Injector struct {
+	cl     *component.Cluster
+	rng    *sim.RNG
+	ledger []*Activation
+	nextID int
+}
+
+// NewInjector creates an injector for the cluster, drawing randomness from
+// the cluster's dedicated "faults" stream.
+func NewInjector(cl *component.Cluster) *Injector {
+	return &Injector{cl: cl, rng: cl.Streams.Stream("faults")}
+}
+
+// Ledger returns all recorded activations in injection order.
+func (in *Injector) Ledger() []*Activation { return in.ledger }
+
+// Cluster returns the cluster under injection.
+func (in *Injector) Cluster() *component.Cluster { return in.cl }
+
+func (in *Injector) record(a *Activation) *Activation {
+	a.ID = in.nextID
+	in.nextID++
+	in.ledger = append(in.ledger, a)
+	return a
+}
+
+// hardwareFRUsWithin returns the hardware FRUs of components within radius
+// of (x, y).
+func (in *Injector) hardwareFRUsWithin(x, y, radius float64) []core.FRU {
+	var out []core.FRU
+	probe := &component.Component{X: x, Y: y}
+	for _, c := range in.cl.Components() {
+		if c.DistanceTo(probe) <= radius {
+			out = append(out, core.HardwareFRU(int(c.ID)))
+		}
+	}
+	return out
+}
+
+// chainOutFault composes a new output filter after the job's existing one.
+func chainOutFault(j *component.Instance, f component.OutFilter) {
+	prev := j.OutFault
+	j.OutFault = func(ch vnet.ChannelID, payload []byte, now sim.Time) ([]byte, bool) {
+		if prev != nil {
+			var ok bool
+			payload, ok = prev(ch, payload, now)
+			if !ok {
+				return nil, false
+			}
+		}
+		return f(ch, payload, now)
+	}
+}
+
+// chainSensorFault composes a new sensor filter after the existing one.
+func chainSensorFault(j *component.Instance, f component.SensorFilter) {
+	prev := j.SensorFault
+	j.SensorFault = func(name string, v float64, now sim.Time) float64 {
+		if prev != nil {
+			v = prev(name, v, now)
+		}
+		return f(name, v, now)
+	}
+}

@@ -1,0 +1,150 @@
+// Package fleet implements the engineering-feedback loop of the paper's
+// Section V-C: correlating the field data gathered by the online diagnostic
+// services of a representative vehicle population. Because every vehicle
+// runs the same job software but has its own transducers and hardware, a
+// job-inherent verdict that recurs across many vehicles evidences a
+// software design fault (a Heisenbug that escaped testing), while an
+// isolated verdict points at that vehicle's transducer or hardware. The
+// package also measures the 20-80 concentration the paper cites (Fenton &
+// Ohlsson): a small share of the software modules causes the majority of
+// field failures.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"decos/internal/core"
+)
+
+// Incident is one job-inherent finding reported by one vehicle's
+// diagnostic DAS.
+type Incident struct {
+	Vehicle int
+	// Job is the software FRU's qualified name ("das/job").
+	Job string
+	// Class is the reported class (JobInherent or a subclass).
+	Class core.FaultClass
+	// Pattern is the ONA pattern name, retained for engineering review.
+	Pattern string
+}
+
+// Aggregator accumulates incidents across a fleet.
+type Aggregator struct {
+	fleetSize int
+	byJob     map[string]map[int]bool // job -> set of reporting vehicles
+	incidents []Incident
+}
+
+// NewAggregator creates an aggregator for a fleet of the given size.
+func NewAggregator(fleetSize int) *Aggregator {
+	if fleetSize <= 0 {
+		panic("fleet: fleet size must be positive")
+	}
+	return &Aggregator{fleetSize: fleetSize, byJob: make(map[string]map[int]bool)}
+}
+
+// Add records one incident.
+func (a *Aggregator) Add(inc Incident) {
+	if !inc.Class.Matches(core.JobInherent) && inc.Class != core.JobInherent &&
+		inc.Class != core.JobInherentSoftware && inc.Class != core.JobInherentSensor {
+		return // only job-inherent findings participate in fleet analysis
+	}
+	set := a.byJob[inc.Job]
+	if set == nil {
+		set = make(map[int]bool)
+		a.byJob[inc.Job] = set
+	}
+	set[inc.Vehicle] = true
+	a.incidents = append(a.incidents, inc)
+}
+
+// Incidents returns all recorded incidents.
+func (a *Aggregator) Incidents() []Incident { return a.incidents }
+
+// JobStat is the fleet statistic of one software module.
+type JobStat struct {
+	Job string
+	// Vehicles is the number of distinct vehicles reporting the job.
+	Vehicles int
+	// Share is Vehicles / fleet size.
+	Share float64
+	// Systematic classifies the fault as a software design fault (true)
+	// or a vehicle-local transducer/hardware issue (false).
+	Systematic bool
+}
+
+// Analyze classifies each reported job: systematic when its share of the
+// fleet exceeds threshold (software is identical on every vehicle, so a
+// design fault reproduces across the population; a transducer fault does
+// not). Results are ordered by descending share.
+func (a *Aggregator) Analyze(threshold float64) []JobStat {
+	var out []JobStat
+	for job, set := range a.byJob {
+		share := float64(len(set)) / float64(a.fleetSize)
+		out = append(out, JobStat{
+			Job:        job,
+			Vehicles:   len(set),
+			Share:      share,
+			Systematic: share >= threshold,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Vehicles != out[j].Vehicles {
+			return out[i].Vehicles > out[j].Vehicles
+		}
+		return out[i].Job < out[j].Job
+	})
+	return out
+}
+
+// Pareto returns the fraction of all incidents caused by the top topShare
+// fraction of reported jobs — the paper's 20-80 observation evaluates to
+// Pareto(0.2) ≈ 0.8 when the rule holds.
+func (a *Aggregator) Pareto(topShare float64) float64 {
+	counts := map[string]int{}
+	for _, inc := range a.incidents {
+		counts[inc.Job]++
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	var jobs []string
+	for j := range counts {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool {
+		if counts[jobs[i]] != counts[jobs[k]] {
+			return counts[jobs[i]] > counts[jobs[k]]
+		}
+		return jobs[i] < jobs[k]
+	})
+	top := int(topShare*float64(len(jobs)) + 0.5)
+	if top < 1 {
+		top = 1
+	}
+	if top > len(jobs) {
+		top = len(jobs)
+	}
+	covered := 0
+	for _, j := range jobs[:top] {
+		covered += counts[j]
+	}
+	return float64(covered) / float64(len(a.incidents))
+}
+
+// Report renders the analysis as a table.
+func (a *Aggregator) Report(threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet of %d vehicles, %d job-inherent incidents\n", a.fleetSize, len(a.incidents))
+	for _, s := range a.Analyze(threshold) {
+		kind := "vehicle-local (transducer/hardware)"
+		if s.Systematic {
+			kind = "SYSTEMATIC software design fault → OEM"
+		}
+		fmt.Fprintf(&b, "  %-16s %3d vehicles (%.0f%%)  %s\n", s.Job, s.Vehicles, 100*s.Share, kind)
+	}
+	fmt.Fprintf(&b, "Pareto: top 20%% of modules cause %.0f%% of incidents\n", 100*a.Pareto(0.2))
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"decos/internal/core"
+)
+
+func TestSystematicVsLocal(t *testing.T) {
+	a := NewAggregator(100)
+	// Job "A/ctl" flagged on 40 vehicles: a shipped software fault.
+	for v := 0; v < 40; v++ {
+		a.Add(Incident{Vehicle: v, Job: "A/ctl", Class: core.JobInherent, Pattern: "job-inherent"})
+	}
+	// Job "A/sense" flagged on 2 vehicles: their sensors.
+	a.Add(Incident{Vehicle: 7, Job: "A/sense", Class: core.JobInherentSensor, Pattern: "job-inherent-sensor"})
+	a.Add(Incident{Vehicle: 9, Job: "A/sense", Class: core.JobInherentSensor, Pattern: "job-inherent-sensor"})
+
+	stats := a.Analyze(0.1)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d entries", len(stats))
+	}
+	if stats[0].Job != "A/ctl" || !stats[0].Systematic || stats[0].Vehicles != 40 {
+		t.Errorf("ctl stat wrong: %+v", stats[0])
+	}
+	if stats[1].Job != "A/sense" || stats[1].Systematic {
+		t.Errorf("sense stat wrong: %+v", stats[1])
+	}
+	if !strings.Contains(a.Report(0.1), "SYSTEMATIC") {
+		t.Error("report lacks systematic flag")
+	}
+}
+
+func TestDuplicateVehicleCountedOnce(t *testing.T) {
+	a := NewAggregator(10)
+	for i := 0; i < 5; i++ {
+		a.Add(Incident{Vehicle: 3, Job: "X/j", Class: core.JobInherent})
+	}
+	stats := a.Analyze(0.5)
+	if stats[0].Vehicles != 1 {
+		t.Errorf("vehicle deduplication failed: %d", stats[0].Vehicles)
+	}
+	if len(a.Incidents()) != 5 {
+		t.Errorf("incident count = %d", len(a.Incidents()))
+	}
+}
+
+func TestNonInherentIncidentsIgnored(t *testing.T) {
+	a := NewAggregator(10)
+	a.Add(Incident{Vehicle: 1, Job: "X/j", Class: core.ComponentInternal})
+	if len(a.Incidents()) != 0 {
+		t.Error("hardware incident accepted into fleet analysis")
+	}
+}
+
+func TestPareto2080(t *testing.T) {
+	a := NewAggregator(1000)
+	// 10 jobs; 2 of them (20 %) cause 80 of 100 incidents.
+	v := 0
+	addN := func(job string, n int) {
+		for i := 0; i < n; i++ {
+			a.Add(Incident{Vehicle: v, Job: job, Class: core.JobInherent})
+			v++
+		}
+	}
+	addN("hot/1", 45)
+	addN("hot/2", 35)
+	for i := 0; i < 8; i++ {
+		addN("cold/"+string(rune('a'+i)), 2+i%2)
+	}
+	got := a.Pareto(0.2)
+	if math.Abs(got-0.8) > 0.08 {
+		t.Errorf("Pareto(0.2) = %v, want ≈0.8", got)
+	}
+	if a.Pareto(1.0) != 1.0 {
+		t.Errorf("Pareto(1.0) = %v", a.Pareto(1.0))
+	}
+}
+
+func TestParetoEmpty(t *testing.T) {
+	a := NewAggregator(5)
+	if a.Pareto(0.2) != 0 {
+		t.Error("empty Pareto non-zero")
+	}
+}
+
+func TestNewAggregatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero fleet size accepted")
+		}
+	}()
+	NewAggregator(0)
+}

@@ -1,0 +1,163 @@
+package maintenance
+
+import (
+	"testing"
+
+	"decos/internal/core"
+	"decos/internal/faults"
+)
+
+// tableAdvisor answers from a fixed map.
+type tableAdvisor map[core.FRU]struct {
+	action core.MaintenanceAction
+	class  core.FaultClass
+}
+
+func (t tableAdvisor) Advise(f core.FRU) (core.MaintenanceAction, core.FaultClass, bool) {
+	e, ok := t[f]
+	if !ok {
+		return core.ActionNone, core.ClassUnknown, false
+	}
+	return e.action, e.class, true
+}
+
+func act(class core.FaultClass, culprit core.FRU) *faults.Activation {
+	return &faults.Activation{Class: class, Culprit: culprit, Affected: []core.FRU{culprit}}
+}
+
+func TestEvaluateCorrectDiagnosis(t *testing.T) {
+	hw := core.HardwareFRU(1)
+	ledger := []*faults.Activation{act(core.ComponentInternal, hw)}
+	adv := tableAdvisor{hw: {core.ActionReplaceComponent, core.ComponentInternal}}
+	r := Evaluate(ledger, adv)
+	if r.Total != 1 || r.CorrectClass != 1 || r.CorrectActions != 1 {
+		t.Errorf("report: %+v", r)
+	}
+	if r.NFFRemovals != 0 || r.TotalRemovals != 1 {
+		t.Errorf("removals: %d NFF of %d", r.NFFRemovals, r.TotalRemovals)
+	}
+	if r.Cost != RemovalCost {
+		t.Errorf("cost = %v", r.Cost)
+	}
+	if r.NFFRatio() != 0 || r.ClassAccuracy() != 1 || r.ActionAccuracy() != 1 {
+		t.Error("ratios wrong")
+	}
+}
+
+func TestEvaluateNFFOnExternalFault(t *testing.T) {
+	// Replacing a component for an external transient is the classic
+	// no-fault-found removal: the unit retests OK at the OEM.
+	ext := &faults.Activation{
+		Class:    core.ComponentExternal,
+		Culprit:  faults.NoCulprit,
+		Affected: []core.FRU{core.HardwareFRU(2)},
+	}
+	adv := tableAdvisor{core.HardwareFRU(2): {core.ActionReplaceComponent, core.ComponentInternal}}
+	r := Evaluate([]*faults.Activation{ext}, adv)
+	if r.NFFRemovals != 1 {
+		t.Errorf("NFF = %d, want 1", r.NFFRemovals)
+	}
+	if r.CorrectActions != 0 || r.CorrectClass != 0 {
+		t.Error("wrong diagnosis counted correct")
+	}
+	if r.Cost != RemovalCost {
+		t.Errorf("cost = %v", r.Cost)
+	}
+}
+
+func TestEvaluateExternalHandledCorrectly(t *testing.T) {
+	ext := &faults.Activation{
+		Class:    core.ComponentExternal,
+		Culprit:  faults.NoCulprit,
+		Affected: []core.FRU{core.HardwareFRU(2)},
+	}
+	adv := tableAdvisor{core.HardwareFRU(2): {core.ActionNone, core.ComponentExternal}}
+	r := Evaluate([]*faults.Activation{ext}, adv)
+	if r.CorrectActions != 1 || r.CorrectClass != 1 || r.NFFRemovals != 0 || r.Cost != 0 {
+		t.Errorf("report: %+v", r)
+	}
+	if r.Missed != 0 {
+		t.Error("external no-action counted as miss")
+	}
+}
+
+func TestEvaluateMissedFault(t *testing.T) {
+	hw := core.HardwareFRU(0)
+	ledger := []*faults.Activation{act(core.ComponentBorderline, hw)}
+	r := Evaluate(ledger, tableAdvisor{}) // no finding at all
+	if r.Missed != 1 {
+		t.Errorf("Missed = %d, want 1", r.Missed)
+	}
+	if r.MissRatio() != 1 {
+		t.Errorf("MissRatio = %v", r.MissRatio())
+	}
+}
+
+func TestEvaluateSoftwareFaultEquivalences(t *testing.T) {
+	sw := core.SoftwareFRU(1, "A/x")
+	// Merged inherent verdict (transducer-first inspection) is acceptable
+	// for a software ground truth.
+	ledger := []*faults.Activation{act(core.JobInherentSoftware, sw)}
+	adv := tableAdvisor{sw: {core.ActionInspectTransducer, core.JobInherent}}
+	r := Evaluate(ledger, adv)
+	if r.CorrectClass != 1 || r.CorrectActions != 1 {
+		t.Errorf("merged verdict rejected: %+v", r.Outcomes[0])
+	}
+	// Replacing the ECU for a software fault is an NFF removal.
+	adv2 := tableAdvisor{sw: {core.ActionReplaceComponent, core.ComponentInternal}}
+	r2 := Evaluate(ledger, adv2)
+	if r2.NFFRemovals != 1 || r2.CorrectActions != 0 {
+		t.Errorf("ECU swap for software fault not NFF: %+v", r2.Outcomes[0])
+	}
+}
+
+func TestEvaluateSensorFault(t *testing.T) {
+	sw := core.SoftwareFRU(1, "A/s")
+	ledger := []*faults.Activation{act(core.JobInherentSensor, sw)}
+	// Transducer inspection is correct workshop labour, not an LRU removal.
+	r := Evaluate(ledger, tableAdvisor{sw: {core.ActionInspectTransducer, core.JobInherentSensor}})
+	if r.NFFRemovals != 0 || r.CorrectActions != 1 || r.TotalRemovals != 0 || r.Cost != 0 {
+		t.Errorf("sensor inspection judged wrong: %+v", r.Outcomes[0])
+	}
+	// Replacing the whole ECU is NFF.
+	r2 := Evaluate(ledger, tableAdvisor{sw: {core.ActionReplaceComponent, core.ComponentInternal}})
+	if r2.NFFRemovals != 1 {
+		t.Error("ECU swap for transducer fault not NFF")
+	}
+}
+
+func TestEvaluateConfigFault(t *testing.T) {
+	sw := core.SoftwareFRU(2, "B/sink")
+	ledger := []*faults.Activation{act(core.JobBorderline, sw)}
+	r := Evaluate(ledger, tableAdvisor{sw: {core.ActionUpdateConfiguration, core.JobBorderline}})
+	if r.CorrectActions != 1 || r.Cost != 0 {
+		t.Errorf("config update judged wrong: %+v", r.Outcomes[0])
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	hw := core.HardwareFRU(1)
+	ledger := []*faults.Activation{
+		act(core.ComponentInternal, hw),
+		act(core.ComponentInternal, hw),
+		act(core.ComponentBorderline, hw),
+	}
+	adv := tableAdvisor{hw: {core.ActionReplaceComponent, core.ComponentInternal}}
+	r := Evaluate(ledger, adv)
+	if r.Confusion[core.ComponentInternal][core.ComponentInternal] != 2 {
+		t.Error("confusion matrix wrong for internal")
+	}
+	if r.Confusion[core.ComponentBorderline][core.ComponentInternal] != 1 {
+		t.Error("confusion matrix wrong for borderline")
+	}
+	if r.Format() == "" {
+		t.Error("empty Format()")
+	}
+}
+
+func TestRatiosOnEmptyReport(t *testing.T) {
+	r := Evaluate(nil, tableAdvisor{})
+	if r.NFFRatio() != 0 || r.ClassAccuracy() != 0 || r.ActionAccuracy() != 0 || r.MissRatio() != 0 {
+		t.Error("empty report ratios not zero")
+	}
+}

@@ -1,0 +1,88 @@
+package maintenance
+
+import (
+	"fmt"
+
+	"decos/internal/core"
+	"decos/internal/diagnosis"
+	"decos/internal/sim"
+)
+
+// PreventivePolicy implements condition-based maintenance on top of the
+// diagnostic DAS (paper Section III-E): the rising transient-failure rate
+// is the wearout indicator of electronics, and a FRU whose trust
+// trajectory forecasts a specification violation within the planning
+// horizon is scheduled for replacement at the next service — before it
+// fails permanently in the field.
+type PreventivePolicy struct {
+	// TrustThreshold is the trust level at which a FRU is considered due.
+	TrustThreshold float64
+	// Horizon is the planning window: FRUs forecast to cross the
+	// threshold within it are scheduled now.
+	Horizon sim.Duration
+	// RiseFactor gates the wearout-trend indicator.
+	RiseFactor float64
+	// RULWindow is the number of trust samples the forecast uses.
+	RULWindow int
+}
+
+// DefaultPreventivePolicy returns a policy tuned for the simulation's
+// compressed time scale.
+func DefaultPreventivePolicy() PreventivePolicy {
+	return PreventivePolicy{
+		TrustThreshold: 0.3,
+		Horizon:        2 * sim.Second,
+		RiseFactor:     1.5,
+		RULWindow:      8,
+	}
+}
+
+// Recommendation is one scheduled preventive action.
+type Recommendation struct {
+	FRU core.FRU
+	// Due is the forecast time until the trust threshold is crossed
+	// (0 = already below: replace at once).
+	Due sim.Duration
+	// Reason explains the indicator that triggered scheduling.
+	Reason string
+}
+
+func (r Recommendation) String() string {
+	return fmt.Sprintf("replace %v within %v (%s)", r.FRU, r.Due, r.Reason)
+}
+
+// Evaluate inspects every hardware FRU and returns the replacements the
+// policy schedules, ordered by FRU index. External disturbances do not
+// trigger recommendations: their trust dips recover and their trend is
+// flat — exactly the FRUs whose replacement would be a no-fault-found
+// removal.
+func (p PreventivePolicy) Evaluate(d *diagnosis.Diagnostics) []Recommendation {
+	var out []Recommendation
+	for _, hw := range d.Reg.HardwareFRUs() {
+		fru := d.Reg.FRU(hw)
+		trend := d.Assessor.Trend(hw)
+		rul, forecast := d.Assessor.RUL(hw, p.TrustThreshold, p.RULWindow)
+
+		// A standing internal verdict always schedules (the corrective
+		// path); the preventive path needs both the wearout indicator
+		// and a within-horizon forecast.
+		verdict, hasVerdict := d.Assessor.Current(hw)
+		switch {
+		case hasVerdict && verdict.Class == core.ComponentInternal:
+			due := sim.Duration(0)
+			if forecast {
+				due = rul
+			}
+			out = append(out, Recommendation{
+				FRU: fru, Due: due,
+				Reason: fmt.Sprintf("diagnosed %s (%s)", verdict.Class, verdict.Pattern),
+			})
+		case trend.Wearing(p.RiseFactor) && forecast && rul <= p.Horizon:
+			out = append(out, Recommendation{
+				FRU: fru, Due: rul,
+				Reason: fmt.Sprintf("wearout indicator: episode rate ×%.1f, trust forecast %v", trend.Growth, rul),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package maintenance
+
+import (
+	"decos/internal/core"
+	"decos/internal/faults"
+)
+
+// Repairs reports whether a maintenance action eliminates a fault of the
+// given true class — the physical ground truth behind the paper's central
+// question: "whether a replacement of a particular component will put an
+// end to spurious system malfunctions".
+//
+//   - External faults need no repair: they are transient by nature (any
+//     action "resolves" them, but removals are wasted).
+//   - Borderline faults live in the connector: only connector inspection
+//     (re-seat/replace) helps; swapping the ECU leaves the loom half and
+//     the problem returns.
+//   - Internal faults are eliminated exactly by replacing the component.
+//   - Configuration faults need the corrected configuration data.
+//   - Software design faults need the corrected job version — a fresh ECU
+//     runs the same software and fails the same way.
+//   - Transducer faults need the transducer inspected/replaced.
+func Repairs(action core.MaintenanceAction, truth core.FaultClass) bool {
+	switch truth {
+	case core.ComponentExternal:
+		return true
+	case core.ComponentBorderline:
+		return action == core.ActionInspectConnector
+	case core.ComponentInternal, core.JobExternal:
+		return action == core.ActionReplaceComponent
+	case core.JobBorderline:
+		return action == core.ActionUpdateConfiguration
+	case core.JobInherentSoftware:
+		return action == core.ActionUpdateSoftware
+	case core.JobInherentSensor:
+		return action == core.ActionInspectTransducer
+	}
+	return false
+}
+
+// Apply performs the maintenance action against an activation: when the
+// action addresses the true fault class, the fault is removed from the
+// system (the activation deactivates); otherwise the system is left as it
+// was — the customer returns with the same complaint. It reports whether
+// the fault was eliminated.
+func Apply(a *faults.Activation, action core.MaintenanceAction) bool {
+	if !Repairs(action, a.Class) {
+		return false
+	}
+	a.Deactivate()
+	return true
+}

@@ -1,0 +1,371 @@
+package scenario
+
+import (
+	"fmt"
+
+	"decos/internal/core"
+	"decos/internal/diagnosis"
+	"decos/internal/faults"
+	"decos/internal/maintenance"
+	"sync"
+
+	"decos/internal/sim"
+	"decos/internal/tt"
+)
+
+// FaultKind enumerates the injectable fault types of a campaign, covering
+// every class of the maintenance-oriented fault model.
+type FaultKind int
+
+const (
+	KindEMI FaultKind = iota
+	KindSEU
+	KindConnectorTx
+	KindConnectorRx
+	KindWearout
+	KindIntermittent
+	KindPermanent
+	KindQuartz
+	KindConfig
+	KindBohrbug
+	KindHeisenbug
+	KindJobCrash
+	KindSensorStuck
+	KindSensorDrift
+	KindPowerDip
+
+	numKinds
+)
+
+func (k FaultKind) String() string {
+	names := [...]string{
+		"emi", "seu", "connector-tx", "connector-rx", "wearout",
+		"intermittent", "permanent", "quartz", "config", "bohrbug",
+		"heisenbug", "job-crash", "sensor-stuck", "sensor-drift",
+		"power-dip",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// AllKinds returns every fault kind.
+func AllKinds() []FaultKind {
+	out := make([]FaultKind, numKinds)
+	for i := range out {
+		out[i] = FaultKind(i)
+	}
+	return out
+}
+
+// DefaultMix approximates the field distributions the paper cites: external
+// transients dominate (high transient FIT), connector problems account for
+// a large share of electrical failures (~30 %, Swingler), internal
+// permanents are rare (100 FIT), and software/configuration faults follow
+// the 20-80 observation.
+func DefaultMix() map[FaultKind]float64 {
+	return map[FaultKind]float64{
+		KindEMI:          0.16,
+		KindSEU:          0.14,
+		KindConnectorTx:  0.14,
+		KindConnectorRx:  0.08,
+		KindWearout:      0.07,
+		KindIntermittent: 0.07,
+		KindPermanent:    0.05,
+		KindQuartz:       0.04,
+		KindConfig:       0.07,
+		KindBohrbug:      0.05,
+		KindHeisenbug:    0.05,
+		KindJobCrash:     0.02,
+		KindSensorStuck:  0.03,
+		KindSensorDrift:  0.03,
+		KindPowerDip:     0.06,
+	}
+}
+
+// Inject performs one randomized injection of the given kind on a Fig. 10
+// system. at is the activation instant; horizon the vehicle's total
+// simulated span (used to bound open windows). It returns the ledger entry.
+//
+// Hardware fault targets are restricted to components 0..2 so the analysis
+// stage of the diagnostic DAS (component 3) stays operational; in a
+// production deployment the diagnostic DAS is itself replicated.
+func (s *System) Inject(kind FaultKind, at sim.Time, horizon sim.Time) *faults.Activation {
+	rng := s.Cluster.Streams.Stream("campaign")
+	comp := tt.NodeID(rng.Intn(3))
+	inj := s.Injector
+	switch kind {
+	case KindEMI:
+		// Epicenter near a random pair of proximate components.
+		x := []float64{0.5, 5.5}[rng.Intn(2)]
+		return inj.EMIBurst(at, x, 0, 2, faults.EMIBurstDuration, 4)
+	case KindSEU:
+		return inj.SEU(at, comp)
+	case KindConnectorTx:
+		return inj.ConnectorTx(comp, at, 0, 0.2+0.3*rng.Float64())
+	case KindConnectorRx:
+		return inj.ConnectorRx(comp, at, 0, 0.2+0.3*rng.Float64())
+	case KindWearout:
+		acc := faults.WearoutAcceleration{
+			Onset:           at,
+			Tau:             400 * sim.Millisecond,
+			BaseRatePerHour: 3600 * 4,
+			MaxFactor:       40,
+		}
+		return inj.Wearout(comp, acc, 3600*20)
+	case KindIntermittent:
+		return inj.IntermittentInternal(comp, at, 3600*6, 0)
+	case KindPermanent:
+		return inj.PermanentFailSilent(comp, at)
+	case KindQuartz:
+		return inj.DefectiveQuartz(comp, at, 50_000+rng.Float64()*100_000)
+	case KindConfig:
+		return inj.MisconfigureQueue(s.Sink, ChLoad, 1)
+	case KindBohrbug:
+		return inj.Bohrbug(s.Sensor, ChSpeed,
+			func(v float64, now sim.Time) bool { return now >= at && v > 55 }, 400)
+	case KindHeisenbug:
+		return inj.Heisenbug(s.Sensor, ChSpeed, 0.04, 500, false)
+	case KindJobCrash:
+		return inj.JobCrash(s.Sensor, at)
+	case KindSensorStuck:
+		return inj.SensorStuck(s.Sensor, at, 60)
+	case KindSensorDrift:
+		return inj.SensorDrift(s.Sensor, at, 3600*50)
+	case KindPowerDip:
+		return inj.PowerDip(comp, at, faults.TransientOutage)
+	default:
+		panic("scenario: unknown fault kind")
+	}
+}
+
+// Campaign describes a fleet-scale fault-injection experiment: Vehicles
+// independent Fig. 10 systems, each running Rounds TDMA rounds with one
+// fault drawn from Mix (a share of vehicles stays fault-free to measure
+// false alarms).
+type Campaign struct {
+	Vehicles int
+	Rounds   int64
+	Seed     uint64
+	// Mix weights fault kinds; nil uses DefaultMix.
+	Mix map[FaultKind]float64
+	// FaultFreeShare is the fraction of vehicles without any fault.
+	FaultFreeShare float64
+	// FaultsPerVehicle is the number of simultaneous faults injected into
+	// each faulty vehicle (distinct kinds; default 1). Higher values
+	// stress the classification: overlapping manifestations are the hard
+	// case of FRU-level diagnosis.
+	FaultsPerVehicle int
+	// Workers bounds the number of vehicles simulated concurrently.
+	// Vehicles are fully independent simulations, so the campaign is
+	// embarrassingly parallel; results are identical for any worker
+	// count (all randomness is pre-drawn sequentially). 0 or 1 runs
+	// sequentially.
+	Workers int
+	// Opts tunes the diagnostic subsystem.
+	Opts diagnosis.Options
+}
+
+// CampaignResult carries the audited comparison of both diagnosers plus
+// false-alarm statistics.
+type CampaignResult struct {
+	DECOS *maintenance.Report
+	OBD   *maintenance.Report
+	// FalseAlarms counts hardware-removal recommendations for FRUs that
+	// were never a culprit, per diagnoser, across fault-free vehicles.
+	DECOSFalseAlarms int
+	OBDFalseAlarms   int
+	FaultFreeCount   int
+}
+
+// vehiclePlan is one vehicle's pre-drawn randomness, fixed before any
+// concurrent work starts so the campaign result is independent of the
+// worker count.
+type vehiclePlan struct {
+	seed      uint64
+	faultFree bool
+	kinds     []FaultKind
+	atFrac    []float64
+}
+
+// vehicleOutcome is one simulated vehicle's audit material.
+type vehicleOutcome struct {
+	faultFree        bool
+	decosFalseAlarms int
+	obdFalseAlarms   int
+	acts             []*faults.Activation
+	diag             maintenance.Advisor
+	obd              maintenance.Advisor
+}
+
+// Run executes the campaign — in parallel when Workers > 1 — and audits
+// both diagnosers against the shared ground truth.
+func (c Campaign) Run() *CampaignResult {
+	mix := c.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	kinds, weights := normalizeMix(mix)
+	perVehicle := c.FaultsPerVehicle
+	if perVehicle <= 0 {
+		perVehicle = 1
+	}
+
+	// Draw all randomness up front, sequentially.
+	pickRNG := sim.NewRNG(c.Seed ^ 0xcafef00d)
+	plans := make([]vehiclePlan, c.Vehicles)
+	for v := range plans {
+		p := vehiclePlan{
+			seed:      c.Seed + uint64(v)*7919,
+			faultFree: pickRNG.Bool(c.FaultFreeShare),
+		}
+		if !p.faultFree {
+			used := map[FaultKind]bool{}
+			for len(p.kinds) < perVehicle && len(used) < len(kinds) {
+				kind := kinds[sample(pickRNG, weights)]
+				if used[kind] {
+					continue
+				}
+				used[kind] = true
+				p.kinds = append(p.kinds, kind)
+				p.atFrac = append(p.atFrac, 0.1+0.3*pickRNG.Float64())
+			}
+		}
+		plans[v] = p
+	}
+
+	outcomes := make([]vehicleOutcome, c.Vehicles)
+	runOne := func(v int) {
+		p := plans[v]
+		sys := Fig10(p.seed, c.Opts)
+		horizon := sim.Time(c.Rounds * sys.Cluster.Cfg.RoundDuration().Micros())
+		out := vehicleOutcome{faultFree: p.faultFree, diag: sys.Diag, obd: sys.OBD}
+		for i, kind := range p.kinds {
+			at := sim.Time(float64(horizon) * p.atFrac[i])
+			out.acts = append(out.acts, sys.Inject(kind, at, horizon))
+		}
+		sys.Run(c.Rounds)
+		if p.faultFree {
+			out.decosFalseAlarms = countRemovalAdvice(sys, sys.Diag)
+			out.obdFalseAlarms = countRemovalAdvice(sys, sys.OBD)
+		}
+		outcomes[v] = out
+	}
+
+	if c.Workers > 1 {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < c.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for v := range work {
+					runOne(v)
+				}
+			}()
+		}
+		for v := 0; v < c.Vehicles; v++ {
+			work <- v
+		}
+		close(work)
+		wg.Wait()
+	} else {
+		for v := 0; v < c.Vehicles; v++ {
+			runOne(v)
+		}
+	}
+
+	// Merge in vehicle order: deterministic regardless of Workers.
+	res := &CampaignResult{}
+	var decosLedger, obdLedger []auditPair
+	for _, out := range outcomes {
+		if out.faultFree {
+			res.FaultFreeCount++
+			res.DECOSFalseAlarms += out.decosFalseAlarms
+			res.OBDFalseAlarms += out.obdFalseAlarms
+			continue
+		}
+		for _, act := range out.acts {
+			decosLedger = append(decosLedger, auditPair{act: act, adv: out.diag})
+			obdLedger = append(obdLedger, auditPair{act: act, adv: out.obd})
+		}
+	}
+	res.DECOS = evaluatePairs(decosLedger)
+	res.OBD = evaluatePairs(obdLedger)
+	return res
+}
+
+type auditPair struct {
+	act *faults.Activation
+	adv maintenance.Advisor
+}
+
+// evaluatePairs audits activations that live on different advisor
+// instances (one per vehicle).
+func evaluatePairs(pairs []auditPair) *maintenance.Report {
+	merged := &maintenance.Report{Confusion: map[core.FaultClass]map[core.FaultClass]int{}}
+	for _, p := range pairs {
+		r := maintenance.Evaluate([]*faults.Activation{p.act}, p.adv)
+		merged.Outcomes = append(merged.Outcomes, r.Outcomes...)
+		merged.Total += r.Total
+		merged.CorrectClass += r.CorrectClass
+		merged.CorrectActions += r.CorrectActions
+		merged.NFFRemovals += r.NFFRemovals
+		merged.TotalRemovals += r.TotalRemovals
+		merged.Missed += r.Missed
+		merged.Cost += r.Cost
+		for truth, row := range r.Confusion {
+			if merged.Confusion[truth] == nil {
+				merged.Confusion[truth] = map[core.FaultClass]int{}
+			}
+			for d, n := range row {
+				merged.Confusion[truth][d] += n
+			}
+		}
+	}
+	return merged
+}
+
+// countRemovalAdvice counts hardware FRUs the advisor would remove on a
+// vehicle (used on fault-free vehicles: every such recommendation is a
+// false alarm).
+func countRemovalAdvice(sys *System, adv maintenance.Advisor) int {
+	n := 0
+	for _, c := range sys.Cluster.Components() {
+		if action, _, ok := adv.Advise(core.HardwareFRU(int(c.ID))); ok && action.Removal() {
+			n++
+		}
+	}
+	return n
+}
+
+func normalizeMix(mix map[FaultKind]float64) ([]FaultKind, []float64) {
+	var kinds []FaultKind
+	for _, k := range AllKinds() {
+		if mix[k] > 0 {
+			kinds = append(kinds, k)
+		}
+	}
+	total := 0.0
+	for _, k := range kinds {
+		total += mix[k]
+	}
+	weights := make([]float64, len(kinds))
+	for i, k := range kinds {
+		weights[i] = mix[k] / total
+	}
+	return kinds, weights
+}
+
+func sample(rng *sim.RNG, weights []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

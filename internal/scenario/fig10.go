@@ -1,0 +1,141 @@
+// Package scenario provides canonical cluster configurations and the
+// fault-injection campaign driver used by the experiments: most notably the
+// system of the paper's Fig. 10 — three application DASs (two non-safety-
+// critical, one safety-critical TMR triple) spread over four components —
+// with both the DECOS diagnostic architecture and the OBD baseline
+// attached.
+package scenario
+
+import (
+	"decos/internal/baseline"
+	"decos/internal/clock"
+	"decos/internal/component"
+	"decos/internal/diagnosis"
+	"decos/internal/faults"
+	"decos/internal/sim"
+	"decos/internal/tt"
+	"decos/internal/vnet"
+)
+
+// Channel plan of the Fig. 10 system.
+const (
+	ChSpeed vnet.ChannelID = 1  // DAS A: wheel speed (A1 → A2)
+	ChCmd   vnet.ChannelID = 2  // DAS A: brake command (A2 → A3)
+	ChLoad  vnet.ChannelID = 10 // DAS C: event traffic (C1 → C2)
+	ChS1    vnet.ChannelID = 21 // DAS S: replica 1 pressure
+	ChS2    vnet.ChannelID = 22 // DAS S: replica 2 pressure
+	ChS3    vnet.ChannelID = 23 // DAS S: replica 3 pressure
+	ChVoted vnet.ChannelID = 24 // DAS S: voted pressure
+)
+
+// System is one fully assembled Fig. 10 cluster with diagnostics, the OBD
+// baseline and a fault injector.
+type System struct {
+	Cluster  *component.Cluster
+	Diag     *diagnosis.Diagnostics
+	OBD      *baseline.OBD
+	Injector *faults.Injector
+	Voter    *component.VoterJob
+
+	// Handy job handles.
+	Sensor, Control, Actuator, Bursty, Sink *component.Instance
+	Replicas                                [3]*component.Instance
+	VoterJob                                *component.Instance
+}
+
+// DiagNode hosts the diagnostic DAS's analysis stage.
+const DiagNode tt.NodeID = 3
+
+// Fig10 builds the canonical system with the given seed and diagnostic
+// options. The cluster is started and ready to run.
+func Fig10(seed uint64, opts diagnosis.Options) *System {
+	cfg := tt.UniformSchedule(4, 250*sim.Microsecond, 256)
+	cl := component.NewCluster(cfg, seed)
+	cl.Bus.Clocks = clock.NewCluster(4, 50, 0, 20, 1, cl.Streams.Stream("clocks"))
+
+	c0 := cl.AddComponent(0, "front-left", 0, 0)
+	c1 := cl.AddComponent(1, "front-right", 1, 0)
+	c2 := cl.AddComponent(2, "rear-left", 5, 0)
+	c3 := cl.AddComponent(3, "rear-right", 6, 0)
+
+	cl.Env.DefineSine("wheel.speed", 30, 200*sim.Millisecond, 50)
+	cl.Env.DefineSine("brake.pressure", 20, 300*sim.Millisecond, 50)
+
+	// DAS A (non-safety-critical): wheel-speed pipeline A1 → A2 → A3.
+	dasA := cl.AddDAS("A", component.NonSafetyCritical)
+	nA := cl.AddNetwork(dasA, "A.tt", vnet.TimeTriggered)
+	nA.AddEndpoint(0, 40, 0)
+	nA.AddEndpoint(1, 40, 0)
+	a1 := cl.AddJob(dasA, c0, "A1", 0, &component.SensorJob{
+		Signal: "wheel.speed", Out: ChSpeed,
+		PhysMin: -10, PhysMax: 110, FrozenWindow: 20,
+	})
+	a2 := cl.AddJob(dasA, c1, "A2", 0,
+		&component.ControlJob{In: ChSpeed, Out: ChCmd, Gain: 2, InMin: 0, InMax: 100})
+	a3 := cl.AddJob(dasA, c2, "A3", 0, &component.ActuatorJob{In: ChCmd, Actuator: "brake"})
+	cl.Produce(a1, nA, component.ChannelSpec{
+		Channel: ChSpeed, Name: "wheel.speed", Min: 0, Max: 100,
+		MaxAgeRounds: 3, StuckRounds: 20, Sensor: true,
+	})
+	cl.Produce(a2, nA, component.ChannelSpec{Channel: ChCmd, Name: "brake.cmd", Min: 0, Max: 200, MaxAgeRounds: 3})
+	cl.Subscribe(a2, ChSpeed, 0, true)
+	cl.Subscribe(a3, ChCmd, 4, false)
+
+	// DAS C (non-safety-critical): event-triggered comfort traffic.
+	dasC := cl.AddDAS("C", component.NonSafetyCritical)
+	nC := cl.AddNetwork(dasC, "C.et", vnet.EventTriggered)
+	nC.AddEndpoint(1, 60, 16)
+	c1j := cl.AddJob(dasC, c1, "C1", 1, &component.BurstyJob{Out: ChLoad, MeanPerRound: 2})
+	c2j := cl.AddJob(dasC, c2, "C2", 1, &component.SinkJob{In: ChLoad})
+	cl.Produce(c1j, nC, component.ChannelSpec{Channel: ChLoad, Name: "load", Min: -1e12, Max: 1e12})
+	cl.Subscribe(c2j, ChLoad, 8, false)
+
+	// DAS S (safety-critical): TMR pressure sensing on three components,
+	// voted on a fourth (Fig. 10's S1, S2, S3).
+	dasS := cl.AddDAS("S", component.SafetyCritical)
+	nS := cl.AddNetwork(dasS, "S.tt", vnet.TimeTriggered)
+	nS.AddEndpoint(0, 20, 0)
+	nS.AddEndpoint(2, 20, 0)
+	nS.AddEndpoint(3, 20, 0)
+	nS.AddEndpoint(1, 20, 0)
+	var reps [3]*component.Instance
+	repChans := [3]vnet.ChannelID{ChS1, ChS2, ChS3}
+	repComps := [3]*component.Component{c0, c2, c3}
+	for i := 0; i < 3; i++ {
+		reps[i] = cl.AddJob(dasS, repComps[i], "S"+string(rune('1'+i)), 2,
+			&component.SensorJob{
+				Signal: "brake.pressure", Out: repChans[i],
+				PhysMin: -10, PhysMax: 110, FrozenWindow: 20,
+			})
+		cl.Produce(reps[i], nS, component.ChannelSpec{
+			Channel: repChans[i], Name: "pressure", Min: 0, Max: 100,
+			MaxAgeRounds: 3, StuckRounds: 20, Sensor: true,
+		})
+	}
+	voter := &component.VoterJob{Ins: repChans, Out: ChVoted, Tolerance: 1.0}
+	vj := cl.AddJob(dasS, c1, "V", 2, voter)
+	for _, ch := range repChans {
+		cl.Subscribe(vj, ch, 0, true)
+	}
+	cl.Produce(vj, nS, component.ChannelSpec{Channel: ChVoted, Name: "voted", Min: 0, Max: 100, MaxAgeRounds: 3})
+
+	diag := diagnosis.Attach(cl, DiagNode, opts)
+	obd := baseline.Attach(cl)
+
+	if err := cl.Start(); err != nil {
+		panic(err)
+	}
+	return &System{
+		Cluster:  cl,
+		Diag:     diag,
+		OBD:      obd,
+		Injector: faults.NewInjector(cl),
+		Voter:    voter,
+		Sensor:   a1, Control: a2, Actuator: a3,
+		Bursty: c1j, Sink: c2j,
+		Replicas: reps, VoterJob: vj,
+	}
+}
+
+// Run advances the system by n TDMA rounds.
+func (s *System) Run(n int64) { s.Cluster.RunRounds(n) }

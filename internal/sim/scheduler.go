@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (FIFO tie-breaking), which keeps runs deterministic.
+type Event struct {
+	At       Time
+	Name     string // for tracing and error messages
+	Fire     func()
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Canceled reports whether the event was canceled before firing.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event scheduler. It is not safe for
+// concurrent use: the DECOS simulator is single-threaded by design so that a
+// run is exactly reproducible from its seed.
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewScheduler returns a scheduler positioned at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far, for reporting.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fire to run at time at. Scheduling in the past panics: it is
+// always a simulator bug, never a recoverable condition.
+func (s *Scheduler) At(at Time, name string, fire func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, at, s.now))
+	}
+	e := &Event{At: at, Name: name, Fire: fire, seq: s.nextSeq}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fire to run d after the current time.
+func (s *Scheduler) After(d Duration, name string, fire func()) *Event {
+	return s.At(s.now.Add(d), name, fire)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or already-
+// canceled event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		if e != nil {
+			e.canceled = true
+		}
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// completes. Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Step fires the single next event, advancing time to it. It returns false
+// when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.At
+	s.fired++
+	e.Fire()
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty, Stop is called, or
+// the next event would be after deadline. Time is left at the later of the
+// last fired event and deadline.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].At <= deadline {
+		s.Step()
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run fires events until the queue is empty or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}

@@ -1,0 +1,155 @@
+// Package trace records a structured event stream of a cluster run as
+// JSON-lines: failed frames, disseminated symptoms, verdict emissions,
+// trust samples and injection activations. The format is the offline
+// interface to the OEM's warranty-analysis tooling the paper's Section V-B
+// sketches (off-line analysis of returned units informing fault-pattern
+// design) — and a debugging aid for the simulator itself.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"decos/internal/component"
+	"decos/internal/diagnosis"
+	"decos/internal/faults"
+	"decos/internal/sim"
+	"decos/internal/tt"
+)
+
+// Event is one trace record. Fields are populated per Kind.
+type Event struct {
+	T    int64  `json:"t_us"`
+	Kind string `json:"kind"` // frame | symptom | verdict | trust | injection
+
+	// frame
+	Sender *int   `json:"sender,omitempty"`
+	Slot   *int   `json:"slot,omitempty"`
+	Round  *int64 `json:"round,omitempty"`
+	Status string `json:"status,omitempty"`
+
+	// symptom
+	Symptom  string  `json:"symptom,omitempty"`
+	Subject  string  `json:"subject,omitempty"`
+	Observer *int    `json:"observer,omitempty"`
+	Count    int     `json:"count,omitempty"`
+	Dev      float64 `json:"dev,omitempty"`
+
+	// verdict
+	Class   string  `json:"class,omitempty"`
+	Pattern string  `json:"pattern,omitempty"`
+	Action  string  `json:"action,omitempty"`
+	Conf    float64 `json:"conf,omitempty"`
+
+	// trust
+	Trust *float64 `json:"trust,omitempty"`
+
+	// injection
+	Detail string `json:"detail,omitempty"`
+}
+
+// Options selects what the recorder captures.
+type Options struct {
+	// AllFrames records every slot; default records only failed frames.
+	AllFrames bool
+	// TrustEveryEpochs samples trust levels every N assessment epochs
+	// (0 disables trust sampling).
+	TrustEveryEpochs int64
+}
+
+// Recorder writes trace events to a JSON-lines stream.
+type Recorder struct {
+	enc  *json.Encoder
+	opts Options
+
+	// Events counts written records; Err holds the first write error
+	// (recording stops after it).
+	Events int
+	Err    error
+}
+
+// Attach wires a recorder onto a cluster (and, optionally, its diagnostics
+// and injector — pass nil to skip either). Must be called before Start.
+func Attach(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Injector, w io.Writer, opts Options) *Recorder {
+	r := &Recorder{enc: json.NewEncoder(w), opts: opts}
+
+	cl.Bus.Observe(func(f *tt.Frame, per map[tt.NodeID]tt.FrameStatus) {
+		if !opts.AllFrames && !f.Status.Failed() {
+			return
+		}
+		s, sl, rd := int(f.Sender), f.Slot, f.Round
+		r.write(Event{
+			T: f.At.Micros(), Kind: "frame",
+			Sender: &s, Slot: &sl, Round: &rd, Status: f.Status.String(),
+		})
+	})
+
+	var emittedSeen int
+	var ledgerSeen int
+	lastTrustEpoch := int64(0)
+	cl.OnRound(func(round int64, now sim.Time) {
+		if inj != nil {
+			for _, a := range inj.Ledger()[ledgerSeen:] {
+				r.write(Event{
+					T: now.Micros(), Kind: "injection",
+					Class: a.Class.String(), Subject: a.Culprit.String(), Detail: a.Detail,
+				})
+			}
+			ledgerSeen = len(inj.Ledger())
+		}
+		if d == nil {
+			return
+		}
+		for _, v := range d.Assessor.Emitted()[emittedSeen:] {
+			r.write(Event{
+				T: v.At.Micros(), Kind: "verdict",
+				Subject: v.FRU.String(), Class: v.Class.String(),
+				Pattern: v.Pattern, Action: v.Action.String(), Conf: v.Confidence,
+			})
+		}
+		emittedSeen = len(d.Assessor.Emitted())
+
+		if opts.TrustEveryEpochs > 0 {
+			if e := d.Assessor.Epoch(); e >= lastTrustEpoch+opts.TrustEveryEpochs {
+				lastTrustEpoch = e
+				for i := 0; i < d.Reg.Len(); i++ {
+					tv := float64(d.Assessor.Trust(diagnosis.FRUIndex(i)))
+					r.write(Event{
+						T: now.Micros(), Kind: "trust",
+						Subject: d.Reg.FRU(diagnosis.FRUIndex(i)).String(), Trust: &tv,
+					})
+				}
+			}
+		}
+	})
+
+	if d != nil {
+		// Symptoms are streamed as the assessor ingests them from the
+		// virtual diagnostic network.
+		d.Assessor.OnSymptom(func(s diagnosis.Symptom) {
+			obs := int(s.Observer)
+			subject := fmt.Sprint(int(s.Subject))
+			if int(s.Subject) < d.Reg.Len() {
+				subject = d.Reg.FRU(s.Subject).String()
+			}
+			r.write(Event{
+				T: s.At.Micros(), Kind: "symptom",
+				Symptom: s.Kind.String(), Subject: subject,
+				Observer: &obs, Count: int(s.Count), Dev: float64(s.Deviation),
+			})
+		})
+	}
+	return r
+}
+
+func (r *Recorder) write(e Event) {
+	if r.Err != nil {
+		return
+	}
+	if err := r.enc.Encode(e); err != nil {
+		r.Err = err
+		return
+	}
+	r.Events++
+}

@@ -1,0 +1,280 @@
+package tt
+
+import (
+	"fmt"
+
+	"decos/internal/clock"
+	"decos/internal/sim"
+)
+
+// Controller is the interface a node (a DECOS component's communication
+// controller plus application layer) presents to the core network.
+type Controller interface {
+	// BuildFrame is called when one of the node's slots begins; it returns
+	// the frame payload (at most Config.PayloadBytes; longer payloads are
+	// truncated by the guardian, shorter ones are allowed).
+	BuildFrame(round int64, slot int) []byte
+	// OnSlot is called on every node for every slot with the frame as this
+	// node received it. A node also observes its own transmissions
+	// (loop-back), as time-triggered controllers do.
+	OnSlot(f Frame, status FrameStatus)
+	// OnRoundEnd is called after the final slot of each round, in node-id
+	// order. Application jobs execute here.
+	OnRoundEnd(round int64)
+}
+
+// TxFault perturbs a frame on the sender side / the shared medium. It may
+// modify the frame in place (set Status, clear Payload, set CorruptBits).
+// All receivers observe the perturbed frame.
+type TxFault func(f *Frame)
+
+// RxFault perturbs reception at one receiver. It receives the frame as
+// transmitted and the status as seen so far, and returns the (possibly
+// degraded) status. Receiver-side faults model inbound connector problems.
+type RxFault func(receiver NodeID, f *Frame, status FrameStatus) FrameStatus
+
+// SlotObserver is called once per slot after delivery, with the per-receiver
+// statuses. The diagnostic layer and tests attach here.
+type SlotObserver func(f *Frame, perReceiver map[NodeID]FrameStatus)
+
+// Bus is the shared TDMA broadcast medium of one cluster, together with the
+// slot guardian and the membership service.
+type Bus struct {
+	Cfg   Config
+	Sched *sim.Scheduler
+
+	// Clocks, when non-nil, is resynchronized once per round; a sender that
+	// is out of sync produces timing-failed frames until readmitted.
+	Clocks *clock.Cluster
+
+	nodes      map[NodeID]Controller
+	nodeOrder  []NodeID
+	alive      map[NodeID]bool
+	babbling   map[NodeID]bool
+	txFaults   map[int]TxFault
+	rxFaults   map[int]RxFault
+	observers  []SlotObserver
+	roundHooks []func(round int64)
+	nextHookID int
+
+	round int64
+
+	// GuardianEnabled controls slot enforcement. With the guardian off
+	// (ablation A3 territory), a babbling node corrupts every slot.
+	GuardianEnabled bool
+	// GuardianBlocks counts transmission attempts outside the sender's slot
+	// that the guardian suppressed.
+	GuardianBlocks int
+
+	membership map[NodeID]*Membership
+
+	running bool
+}
+
+// NewBus creates a bus for the given configuration. It panics on an invalid
+// configuration: cluster configs are static and checked at build time.
+func NewBus(cfg Config, sched *sim.Scheduler) *Bus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Bus{
+		Cfg:             cfg,
+		Sched:           sched,
+		nodes:           make(map[NodeID]Controller),
+		alive:           make(map[NodeID]bool),
+		babbling:        make(map[NodeID]bool),
+		txFaults:        make(map[int]TxFault),
+		rxFaults:        make(map[int]RxFault),
+		GuardianEnabled: true,
+		membership:      make(map[NodeID]*Membership),
+	}
+}
+
+// Attach registers the controller for node n. All nodes must be attached
+// before Start.
+func (b *Bus) Attach(n NodeID, c Controller) {
+	if b.running {
+		panic("tt: Attach after Start")
+	}
+	if _, dup := b.nodes[n]; dup {
+		panic(fmt.Sprintf("tt: duplicate controller for node %d", n))
+	}
+	b.nodes[n] = c
+	b.nodeOrder = append(b.nodeOrder, n)
+	for i := len(b.nodeOrder) - 1; i > 0 && b.nodeOrder[i] < b.nodeOrder[i-1]; i-- {
+		b.nodeOrder[i], b.nodeOrder[i-1] = b.nodeOrder[i-1], b.nodeOrder[i]
+	}
+	b.alive[n] = true
+	b.membership[n] = NewMembership(b.Cfg.Nodes())
+}
+
+// SetAlive powers a node on or off. A powered-off node omits all its frames
+// (fail-silent), the failure mode a correct architecture converts arbitrary
+// component failures into at the interface.
+func (b *Bus) SetAlive(n NodeID, alive bool) { b.alive[n] = alive }
+
+// Alive reports whether node n is powered.
+func (b *Bus) Alive(n NodeID) bool { return b.alive[n] }
+
+// SetBabbling marks a node as a babbling idiot: it attempts to transmit in
+// every slot. With the guardian enabled the attempts are blocked and
+// counted; with it disabled they corrupt the legitimate sender's frame.
+func (b *Bus) SetBabbling(n NodeID, babbling bool) { b.babbling[n] = babbling }
+
+// AddTxFault installs a sender-side fault hook and returns a handle for
+// removal.
+func (b *Bus) AddTxFault(f TxFault) int {
+	id := b.nextHookID
+	b.nextHookID++
+	b.txFaults[id] = f
+	return id
+}
+
+// AddRxFault installs a receiver-side fault hook and returns a handle.
+func (b *Bus) AddRxFault(f RxFault) int {
+	id := b.nextHookID
+	b.nextHookID++
+	b.rxFaults[id] = f
+	return id
+}
+
+// RemoveFault uninstalls a fault hook by handle. Unknown handles are
+// ignored.
+func (b *Bus) RemoveFault(id int) {
+	delete(b.txFaults, id)
+	delete(b.rxFaults, id)
+}
+
+// Observe installs a slot observer.
+func (b *Bus) Observe(o SlotObserver) { b.observers = append(b.observers, o) }
+
+// OnRound installs a callback fired after every round completes (after all
+// controllers' OnRoundEnd), regardless of node liveness.
+func (b *Bus) OnRound(f func(round int64)) { b.roundHooks = append(b.roundHooks, f) }
+
+// Membership returns node n's membership view.
+func (b *Bus) Membership(n NodeID) *Membership { return b.membership[n] }
+
+// Round returns the index of the round currently in progress (or about to
+// start).
+func (b *Bus) Round() int64 { return b.round }
+
+// Start schedules the first slot. The bus then self-schedules forever; run
+// the scheduler with RunUntil to bound the simulation.
+func (b *Bus) Start() {
+	if b.running {
+		panic("tt: Start called twice")
+	}
+	for _, n := range b.Cfg.Nodes() {
+		if _, ok := b.nodes[n]; !ok {
+			panic(fmt.Sprintf("tt: schedule assigns slots to unattached node %d", n))
+		}
+	}
+	b.running = true
+	b.scheduleSlot(0, 0)
+}
+
+func (b *Bus) scheduleSlot(round int64, slot int) {
+	at := b.Cfg.SlotStart(round, slot)
+	// A static event name: slot scheduling is the simulator's hottest
+	// allocation site and the coordinates are recoverable from the time.
+	b.Sched.At(at, "tt.slot", func() {
+		b.fireSlot(round, slot)
+	})
+}
+
+func (b *Bus) fireSlot(round int64, slot int) {
+	b.round = round
+	sender := b.Cfg.Slots[slot]
+	f := &Frame{
+		Round:  round,
+		Slot:   slot,
+		Sender: sender,
+		At:     b.Sched.Now(),
+		Status: FrameOK,
+	}
+
+	// Sender side.
+	switch {
+	case sender == NoNode:
+		f.Status = FrameOmitted
+	case !b.alive[sender]:
+		f.Status = FrameOmitted
+	case b.Clocks != nil && int(sender) < len(b.Clocks.Oscillators) && !b.Clocks.InSync(int(sender)):
+		// A sender that lost clock synchronization transmits outside its
+		// receive window: receivers classify the frame as a timing failure.
+		f.Status = FrameTiming
+		f.Payload = b.nodes[sender].BuildFrame(round, slot)
+	default:
+		f.Payload = b.nodes[sender].BuildFrame(round, slot)
+		if len(f.Payload) > b.Cfg.PayloadBytes {
+			f.Payload = f.Payload[:b.Cfg.PayloadBytes]
+		}
+	}
+
+	// Babbling idiots attempt to transmit in this (foreign) slot.
+	for _, n := range b.nodeOrder {
+		if !b.babbling[n] || n == sender || !b.alive[n] {
+			continue
+		}
+		if b.GuardianEnabled {
+			b.GuardianBlocks++
+			continue
+		}
+		// Without slot enforcement the medium sees two simultaneous
+		// transmissions: the legitimate frame is destroyed.
+		if f.Status == FrameOK {
+			f.Status = FrameCorrupted
+			f.CorruptBits += 8 * len(f.Payload)
+		}
+	}
+
+	// Sender-side / medium fault hooks, in insertion order.
+	for id := 0; id < b.nextHookID; id++ {
+		if tf, ok := b.txFaults[id]; ok {
+			tf(f)
+		}
+	}
+
+	// Delivery: every attached node observes the slot.
+	per := make(map[NodeID]FrameStatus, len(b.nodeOrder))
+	for _, n := range b.nodeOrder {
+		st := f.Status
+		for id := 0; id < b.nextHookID; id++ {
+			if rf, ok := b.rxFaults[id]; ok {
+				st = rf(n, f, st)
+			}
+		}
+		per[n] = st
+		if b.alive[n] {
+			b.membership[n].Record(f.Sender, round, st)
+			b.nodes[n].OnSlot(*f, st)
+		}
+	}
+
+	for _, o := range b.observers {
+		o(f, per)
+	}
+
+	// Advance the schedule.
+	if slot+1 < len(b.Cfg.Slots) {
+		b.scheduleSlot(round, slot+1)
+		return
+	}
+	b.endRound(round)
+	b.scheduleSlot(round+1, 0)
+}
+
+func (b *Bus) endRound(round int64) {
+	if b.Clocks != nil {
+		b.Clocks.Resync(b.Sched.Now())
+	}
+	for _, n := range b.nodeOrder {
+		if b.alive[n] {
+			b.nodes[n].OnRoundEnd(round)
+		}
+	}
+	for _, f := range b.roundHooks {
+		f(round)
+	}
+}

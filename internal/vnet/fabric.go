@@ -1,0 +1,332 @@
+package vnet
+
+import (
+	"fmt"
+
+	"decos/internal/sim"
+	"decos/internal/tt"
+)
+
+// InPort is a subscriber's receive port on one channel. The port keeps a
+// bounded queue (event semantics) or just the latest state (state
+// semantics follows from capacity 1 with overwrite), plus the observation
+// statistics the symptom detectors of the diagnostic subsystem read.
+type InPort struct {
+	Channel ChannelID
+	Node    tt.NodeID
+	// Capacity bounds the receive queue; incoming messages beyond it are
+	// dropped and counted as overflows. Capacity <= 0 means unbounded.
+	Capacity int
+	// Overwrite makes the port keep only the newest message (state port).
+	Overwrite bool
+
+	queue []Message
+
+	Stats PortStats
+}
+
+// PortStats are the LIF-visible observations of one receive port.
+type PortStats struct {
+	Received     int // messages delivered correctly
+	CRCFailures  int // messages received with an invalid CRC (value failures)
+	FrameMisses  int // producer frames omitted / timing-failed while subscribed
+	Overflows    int // messages dropped because the receive queue was full
+	SeqGaps      int // sequence discontinuities (lost messages detected)
+	LastSeq      uint32
+	haveSeq      bool
+	LastArrival  sim.Time
+	LastValue    []byte
+	LastWasValid bool
+}
+
+// Receive pops the oldest queued message. ok is false when the queue is
+// empty.
+func (p *InPort) Receive() (Message, bool) {
+	if len(p.queue) == 0 {
+		return Message{}, false
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	return m, true
+}
+
+// Peek returns the newest message without consuming it.
+func (p *InPort) Peek() (Message, bool) {
+	if len(p.queue) == 0 {
+		return Message{}, false
+	}
+	return p.queue[len(p.queue)-1], true
+}
+
+// QueueLen returns the number of queued messages.
+func (p *InPort) QueueLen() int { return len(p.queue) }
+
+func (p *InPort) deliver(m Message, crcValid bool, now sim.Time) {
+	if !crcValid {
+		p.Stats.CRCFailures++
+		p.Stats.LastWasValid = false
+		return
+	}
+	// The decoded payload aliases the frame buffer; own it before
+	// retaining (queue and Stats keep references past the slot).
+	m.Payload = append([]byte(nil), m.Payload...)
+	if p.Stats.haveSeq && m.Seq != p.Stats.LastSeq+1 && m.Seq > p.Stats.LastSeq {
+		p.Stats.SeqGaps++
+	}
+	p.Stats.LastSeq = m.Seq
+	p.Stats.haveSeq = true
+	p.Stats.Received++
+	p.Stats.LastArrival = now
+	p.Stats.LastValue = m.Payload
+	p.Stats.LastWasValid = true
+	if p.Overwrite {
+		p.queue = p.queue[:0]
+		p.queue = append(p.queue, m)
+		return
+	}
+	if p.Capacity > 0 && len(p.queue) >= p.Capacity {
+		p.Stats.Overflows++
+		return
+	}
+	p.queue = append(p.queue, m)
+}
+
+// segment is one network's byte range within a node's frame payload.
+type segment struct {
+	net    *Network
+	offset int
+	length int
+}
+
+// Fabric wires a set of virtual networks onto a time-triggered cluster: it
+// computes the per-node frame layout, packs outbound segments into frames
+// and dispatches received segments to subscriber ports.
+type Fabric struct {
+	cfg      tt.Config
+	networks []*Network
+	layout   map[tt.NodeID][]segment
+	subs     map[ChannelID][]*InPort
+	// corruptSeed makes bit-flip placement for a corrupted frame a pure
+	// function of the frame's coordinates, so every receiver of one
+	// corrupted broadcast observes the same damaged bytes.
+	corruptSeed uint64
+
+	// Per-node frame buffers and a decode scratch list, reused across
+	// rounds: frames are fully consumed within their slot event, so the
+	// buffer's contents are dead by the time the node builds its next
+	// frame.
+	frameBufs map[tt.NodeID][]byte
+	decodeBuf []decodeResult
+
+	// DecodeErrors counts frames whose segment structure was undecodable
+	// after corruption.
+	DecodeErrors int
+	sealed       bool
+}
+
+// NewFabric creates a fabric for the given core-network configuration. The
+// rng seeds bit-corruption placement for corrupted frames.
+func NewFabric(cfg tt.Config, rng *sim.RNG) *Fabric {
+	return &Fabric{
+		cfg:         cfg,
+		layout:      make(map[tt.NodeID][]segment),
+		subs:        make(map[ChannelID][]*InPort),
+		corruptSeed: rng.Uint64(),
+		frameBufs:   make(map[tt.NodeID][]byte),
+	}
+}
+
+// AddNetwork registers a virtual network. All networks must be added before
+// Seal.
+func (f *Fabric) AddNetwork(n *Network) {
+	if f.sealed {
+		panic("vnet: AddNetwork after Seal")
+	}
+	f.networks = append(f.networks, n)
+}
+
+// Subscribe attaches an in-port at the given node to a channel. The channel
+// must exist on one of the fabric's networks.
+func (f *Fabric) Subscribe(node tt.NodeID, ch ChannelID, capacity int, overwrite bool) *InPort {
+	if f.findChannel(ch) == nil {
+		panic(fmt.Sprintf("vnet: subscribe to unknown channel %d", ch))
+	}
+	p := &InPort{Channel: ch, Node: node, Capacity: capacity, Overwrite: overwrite}
+	f.subs[ch] = append(f.subs[ch], p)
+	return p
+}
+
+func (f *Fabric) findChannel(ch ChannelID) *Network {
+	for _, n := range f.networks {
+		if _, ok := n.Producer(ch); ok {
+			return n
+		}
+	}
+	return nil
+}
+
+// Seal computes the frame layout. It fails if any node's total allocation
+// exceeds the frame payload size.
+func (f *Fabric) Seal() error {
+	if f.sealed {
+		return nil
+	}
+	for _, node := range f.cfg.Nodes() {
+		off := 0
+		for _, n := range f.networks {
+			ep := n.Endpoint(node)
+			if ep == nil || ep.AllocBytes == 0 {
+				continue
+			}
+			f.layout[node] = append(f.layout[node], segment{net: n, offset: off, length: ep.AllocBytes})
+			off += ep.AllocBytes
+		}
+		if off > f.cfg.PayloadBytes {
+			return fmt.Errorf("vnet: node %d allocation %d exceeds frame payload %d", node, off, f.cfg.PayloadBytes)
+		}
+	}
+	f.sealed = true
+	return nil
+}
+
+// PortsAt returns all in-ports subscribed at the given node, in channel
+// order (stable across runs). The diagnostic monitors scan these.
+func (f *Fabric) PortsAt(node tt.NodeID) []*InPort {
+	var chans []int
+	for ch := range f.subs {
+		chans = append(chans, int(ch))
+	}
+	for i := 1; i < len(chans); i++ {
+		for j := i; j > 0 && chans[j] < chans[j-1]; j-- {
+			chans[j], chans[j-1] = chans[j-1], chans[j]
+		}
+	}
+	var out []*InPort
+	for _, ch := range chans {
+		for _, p := range f.subs[ChannelID(ch)] {
+			if p.Node == node {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Networks returns the registered networks in registration order.
+func (f *Fabric) Networks() []*Network { return f.networks }
+
+// Network returns the registered network with the given name, or nil.
+func (f *Fabric) Network(name string) *Network {
+	for _, n := range f.networks {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// BuildPayload assembles node's frame payload for one round by packing each
+// attached network's segment at its fixed offset. The returned buffer is
+// reused on the node's next BuildPayload: frames are consumed within their
+// TDMA slot, so nothing holds it longer.
+func (f *Fabric) BuildPayload(node tt.NodeID) []byte {
+	if !f.sealed {
+		panic("vnet: BuildPayload before Seal")
+	}
+	segs := f.layout[node]
+	if len(segs) == 0 {
+		return nil
+	}
+	last := segs[len(segs)-1]
+	size := last.offset + last.length
+	buf := f.frameBufs[node]
+	if cap(buf) < size {
+		buf = make([]byte, size)
+		f.frameBufs[node] = buf
+	} else {
+		buf = buf[:size]
+		clear(buf)
+	}
+	for _, s := range segs {
+		packed := s.net.Endpoint(node).packSegment()
+		copy(buf[s.offset:s.offset+s.length], packed)
+	}
+	return buf
+}
+
+// ConsumeFrame dispatches one received frame at one receiver. Correct
+// frames are decoded per the sender's layout and delivered to the
+// receiver's subscribed ports; corrupted frames have CorruptBits random bits
+// flipped first (so CRC checks fail realistically); omitted/timing frames
+// record a miss on every subscribed port fed by the sender.
+func (f *Fabric) ConsumeFrame(receiver tt.NodeID, fr tt.Frame, st tt.FrameStatus, now sim.Time) {
+	if !f.sealed {
+		panic("vnet: ConsumeFrame before Seal")
+	}
+	if fr.Sender == tt.NoNode {
+		return
+	}
+	segs := f.layout[fr.Sender]
+	if len(segs) == 0 {
+		return
+	}
+	if st == tt.FrameOmitted || st == tt.FrameTiming {
+		for _, s := range segs {
+			for ch, prod := range s.net.channels {
+				if prod.producer != fr.Sender {
+					continue
+				}
+				for _, p := range f.subs[ch] {
+					if p.Node == receiver {
+						p.Stats.FrameMisses++
+					}
+				}
+			}
+		}
+		return
+	}
+
+	payload := fr.Payload
+	if st == tt.FrameCorrupted {
+		payload = append([]byte(nil), payload...)
+		bits := fr.CorruptBits
+		if bits <= 0 {
+			bits = 1
+		}
+		crng := sim.NewRNG(f.corruptSeed ^ uint64(fr.Round)*0x9e3779b97f4a7c15 ^ uint64(fr.Slot)<<48)
+		for i := 0; i < bits && len(payload) > 0; i++ {
+			pos := crng.Intn(len(payload) * 8)
+			payload[pos/8] ^= 1 << (pos % 8)
+		}
+	}
+
+	for _, s := range segs {
+		end := s.offset + s.length
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if s.offset >= end {
+			continue
+		}
+		msgs, ok := decodeSegment(f.decodeBuf[:0], payload[s.offset:end])
+		f.decodeBuf = msgs[:0]
+		if !ok {
+			f.DecodeErrors++
+		}
+		for _, r := range msgs {
+			// Receivers know the static channel-to-sender mapping: a
+			// record claiming a channel not produced by this frame's
+			// sender is mis-framed corruption, not that channel's
+			// traffic.
+			if prod, known := s.net.Producer(r.msg.Channel); !known || prod != fr.Sender {
+				f.DecodeErrors++
+				continue
+			}
+			for _, p := range f.subs[r.msg.Channel] {
+				if p.Node == receiver {
+					p.deliver(r.msg, r.crcValid, now)
+				}
+			}
+		}
+	}
+}

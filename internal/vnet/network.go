@@ -1,0 +1,222 @@
+package vnet
+
+import (
+	"fmt"
+
+	"decos/internal/sim"
+	"decos/internal/tt"
+)
+
+// Kind distinguishes the two virtual network paradigms of the DECOS
+// architecture.
+type Kind int
+
+const (
+	// TimeTriggered networks carry state messages: the producer's latest
+	// value is re-published in every round (state semantics; a lost frame
+	// only makes the state stale).
+	TimeTriggered Kind = iota
+	// EventTriggered networks carry event messages through bounded queues
+	// (exactly-once intent; a lost frame loses messages, a full queue
+	// overflows).
+	EventTriggered
+)
+
+func (k Kind) String() string {
+	if k == TimeTriggered {
+		return "TT"
+	}
+	return "ET"
+}
+
+// Network is one encapsulated virtual network, typically owned by a single
+// DAS (plus the dedicated virtual diagnostic network).
+type Network struct {
+	Name string
+	Kind Kind
+	// DAS is the name of the owning distributed application subsystem; the
+	// diagnostic network uses "diagnosis".
+	DAS string
+
+	endpoints map[tt.NodeID]*Endpoint
+	channels  map[ChannelID]*channelState
+}
+
+type channelState struct {
+	id       ChannelID
+	producer tt.NodeID
+	nextSeq  uint32
+}
+
+// NewNetwork creates an empty virtual network.
+func NewNetwork(name string, kind Kind, das string) *Network {
+	return &Network{
+		Name:      name,
+		Kind:      kind,
+		DAS:       das,
+		endpoints: make(map[tt.NodeID]*Endpoint),
+		channels:  make(map[ChannelID]*channelState),
+	}
+}
+
+// Endpoint is the attachment of a network to one node: the byte budget the
+// network owns in that node's frames, plus the outbound state/queue.
+type Endpoint struct {
+	Net  *Network
+	Node tt.NodeID
+	// AllocBytes is the segment size this network owns in the node's frame.
+	AllocBytes int
+	// QueueCap bounds the outbound event queue (ET networks only). A
+	// mis-dimensioned QueueCap relative to the traffic model is the
+	// paper's job-borderline configuration fault.
+	QueueCap int
+
+	outQueue []Message              // ET pending messages, FIFO
+	outState map[ChannelID]*Message // TT latest value per produced channel
+	ttOrder  []ChannelID            // deterministic packing order
+
+	// TxOverflows counts messages dropped at the sender because the
+	// outbound queue was full — the encapsulation service refusing to let
+	// a job exceed its configured resources.
+	TxOverflows int
+	// TxMessages counts successfully accepted sends.
+	TxMessages int
+
+	packBuf []byte // reused segment scratch
+}
+
+// AddEndpoint attaches the network to a node with the given frame-segment
+// budget and (for ET networks) outbound queue capacity.
+func (n *Network) AddEndpoint(node tt.NodeID, allocBytes, queueCap int) *Endpoint {
+	if _, dup := n.endpoints[node]; dup {
+		panic(fmt.Sprintf("vnet: duplicate endpoint for node %d on %s", node, n.Name))
+	}
+	ep := &Endpoint{
+		Net:        n,
+		Node:       node,
+		AllocBytes: allocBytes,
+		QueueCap:   queueCap,
+		outState:   make(map[ChannelID]*Message),
+	}
+	n.endpoints[node] = ep
+	return ep
+}
+
+// Endpoint returns the endpoint at the given node, or nil.
+func (n *Network) Endpoint(node tt.NodeID) *Endpoint { return n.endpoints[node] }
+
+// DeclareChannel registers a channel produced at the given node. Channel ids
+// are cluster-global; id 0 is reserved for padding.
+func (n *Network) DeclareChannel(id ChannelID, producer tt.NodeID) {
+	if id == 0 {
+		panic("vnet: channel id 0 is reserved")
+	}
+	if _, dup := n.channels[id]; dup {
+		panic(fmt.Sprintf("vnet: duplicate channel %d on %s", id, n.Name))
+	}
+	ep := n.endpoints[producer]
+	if ep == nil {
+		panic(fmt.Sprintf("vnet: channel %d producer node %d has no endpoint on %s", id, producer, n.Name))
+	}
+	n.channels[id] = &channelState{id: id, producer: producer}
+	if n.Kind == TimeTriggered {
+		ep.ttOrder = append(ep.ttOrder, id)
+	}
+}
+
+// Producer returns the producing node of a channel and whether the channel
+// exists on this network.
+func (n *Network) Producer(id ChannelID) (tt.NodeID, bool) {
+	cs, ok := n.channels[id]
+	if !ok {
+		return tt.NoNode, false
+	}
+	return cs.producer, true
+}
+
+// Channels returns all channel ids declared on the network, in ascending
+// order.
+func (n *Network) Channels() []ChannelID {
+	out := make([]ChannelID, 0, len(n.channels))
+	for id := range n.channels {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Send publishes a message on the given channel from its producing node at
+// time now. For TT channels the value replaces the published state; for ET
+// channels it is appended to the outbound queue. Send reports whether the
+// message was accepted (false = queue overflow, counted on the endpoint).
+func (n *Network) Send(ch ChannelID, payload []byte, now sim.Time) bool {
+	cs, ok := n.channels[ch]
+	if !ok {
+		panic(fmt.Sprintf("vnet: send on undeclared channel %d", ch))
+	}
+	ep := n.endpoints[cs.producer]
+	m := Message{Channel: ch, Seq: cs.nextSeq, Payload: payload, SentAt: now}
+	cs.nextSeq++
+	if n.Kind == TimeTriggered {
+		ep.outState[ch] = &m
+		ep.TxMessages++
+		return true
+	}
+	if ep.QueueCap > 0 && len(ep.outQueue) >= ep.QueueCap {
+		ep.TxOverflows++
+		return false
+	}
+	ep.outQueue = append(ep.outQueue, m)
+	ep.TxMessages++
+	return true
+}
+
+// packSegment serializes the endpoint's pending traffic into at most
+// AllocBytes and returns the segment (valid until the next packSegment on
+// this endpoint — the fabric copies it into the frame buffer immediately).
+// TT networks publish every produced channel's current state; ET networks
+// drain the queue head-first as far as the budget allows.
+func (ep *Endpoint) packSegment() []byte {
+	if cap(ep.packBuf) < ep.AllocBytes {
+		ep.packBuf = make([]byte, 0, ep.AllocBytes)
+	}
+	seg := ep.packBuf[:0]
+	defer func() { ep.packBuf = seg[:0] }()
+	if ep.Net.Kind == TimeTriggered {
+		for _, ch := range ep.ttOrder {
+			m := ep.outState[ch]
+			if m == nil {
+				continue
+			}
+			if WireSize(len(m.Payload)) > ep.AllocBytes-len(seg) {
+				break
+			}
+			var err error
+			seg, err = encode(seg, *m)
+			if err != nil {
+				panic(err)
+			}
+		}
+		return seg
+	}
+	for len(ep.outQueue) > 0 {
+		m := ep.outQueue[0]
+		if WireSize(len(m.Payload)) > ep.AllocBytes-len(seg) {
+			break
+		}
+		var err error
+		seg, err = encode(seg, m)
+		if err != nil {
+			panic(err)
+		}
+		ep.outQueue = ep.outQueue[1:]
+	}
+	return seg
+}
+
+// QueueLen returns the number of messages waiting in the outbound queue.
+func (ep *Endpoint) QueueLen() int { return len(ep.outQueue) }
