@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check test race bench build fmt vet
+
+# Full gate: gofmt (failing), vet, build, tests under -race.
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

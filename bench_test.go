@@ -5,15 +5,20 @@ package decos
 // Run with: go test -bench=. -benchmem
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
 
+	"decos/internal/core"
 	"decos/internal/diagnosis"
 	"decos/internal/experiments"
 	"decos/internal/faults"
 	"decos/internal/scenario"
 	"decos/internal/sim"
+	"decos/internal/trace"
 	"decos/internal/tt"
 	"decos/internal/vnet"
+	"decos/internal/warranty"
 )
 
 const benchSeed = 20050404
@@ -230,6 +235,74 @@ func BenchmarkBathtubSample(b *testing.B) {
 		sink += m.SampleLifetime(r)
 	}
 	_ = sink
+}
+
+// BenchmarkE13FleetWarranty times the full warranty round trip: traced
+// campaign → NDJSON ingest → fleet summary, asserting exact agreement
+// with the in-process audit.
+func BenchmarkE13FleetWarranty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.E13FleetWarranty(benchSeed); r.Metrics["agree"] != 1 {
+			b.Fatal("warranty summary diverged from in-process audit")
+		}
+	}
+}
+
+// BenchmarkWarrantyIngest measures collector ingest throughput from all
+// CPUs, single-stripe (every vehicle contends on one mutex) versus the
+// default striping — the scaling claim behind sharding by vehicle.
+func BenchmarkWarrantyIngest(b *testing.B) {
+	events := syntheticFleetEvents(64, 256)
+	for _, shards := range []int{1, warranty.DefaultShards} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := warranty.NewCollector(shards)
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					c.Ingest(events[int(next.Add(1))%len(events)])
+				}
+			})
+		})
+	}
+}
+
+// syntheticFleetEvents builds a realistic event mix (frames, symptoms,
+// verdicts, trust samples) spread over the given number of vehicles.
+func syntheticFleetEvents(vehicles, perVehicle int) []trace.Event {
+	tr := 0.8
+	var out []trace.Event
+	for v := 1; v <= vehicles; v++ {
+		for i := 0; i < perVehicle; i++ {
+			e := trace.Event{T: int64(i) * 10_000, Vehicle: v}
+			fru := core.HardwareFRU(i % 4).String()
+			switch i % 8 {
+			case 0, 1, 2, 3:
+				e.Kind = "frame"
+				e.Subject = fru
+				e.Detail = "ok"
+			case 4, 5:
+				e.Kind = "symptom"
+				e.Subject = fru
+				e.Symptom = "omission"
+				e.Count = 1
+			case 6:
+				e.Kind = "verdict"
+				e.Subject = fru
+				e.Class = core.ComponentBorderline.String()
+				e.Pattern = "connector-intermittent"
+				e.Conf = 0.9
+				e.Action = core.ActionInspectConnector.String()
+			case 7:
+				e.Kind = "trust"
+				e.Subject = fru
+				e.Trust = &tr
+			}
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // BenchmarkAlphaCount measures the α-count update path.

@@ -2,7 +2,8 @@
 // decos-sim -trace and prints the offline analysis a warranty engineer
 // would start from: the incident inventory, per-FRU symptom totals, the
 // verdict timeline and the trust endpoints (paper Section V-B: off-line
-// analysis of field data informs fault-pattern design).
+// analysis of field data informs fault-pattern design). Corrupt lines
+// are skipped and counted rather than aborting the replay.
 //
 // Usage:
 //
@@ -10,9 +11,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"sort"
 
@@ -33,6 +32,7 @@ func main() {
 
 	var (
 		kinds      = map[string]int{}
+		vehicles   = map[int]bool{}
 		symptoms   = map[string]int{} // subject -> count
 		sympKinds  = map[string]int{} // symptom kind -> count
 		verdicts   []trace.Event
@@ -43,17 +43,15 @@ func main() {
 		total      int
 	)
 
-	dec := json.NewDecoder(f)
-	for {
-		var e trace.Event
-		if err := dec.Decode(&e); err == io.EOF {
-			break
-		} else if err != nil {
-			fmt.Fprintf(os.Stderr, "malformed trace: %v\n", err)
-			os.Exit(1)
-		}
+	// trace.Reader skips undecodable lines instead of aborting the whole
+	// replay — a truncated or partly garbled field trace still analyses.
+	rd := trace.NewReader(f)
+	err = rd.ReadAll(func(e trace.Event) {
 		total++
 		kinds[e.Kind]++
+		if e.Vehicle != 0 {
+			vehicles[e.Vehicle] = true
+		}
 		if firstT < 0 || e.T < firstT {
 			firstT = e.T
 		}
@@ -73,10 +71,20 @@ func main() {
 				lastTrust[e.Subject] = *e.Trust
 			}
 		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading trace: %v\n", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("trace: %d events spanning %.3fs .. %.3fs\n", total,
 		float64(firstT)/1e6, float64(lastT)/1e6)
+	if n := rd.Corrupt(); n > 0 {
+		fmt.Printf("warning: %d corrupt line(s) skipped\n", n)
+	}
+	if len(vehicles) > 1 {
+		fmt.Printf("vehicles: %d\n", len(vehicles))
+	}
 	fmt.Printf("event kinds:")
 	for _, k := range sortedKeys(kinds) {
 		fmt.Printf(" %s=%d", k, kinds[k])

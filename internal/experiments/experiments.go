@@ -1,6 +1,6 @@
 // Package experiments regenerates every figure of the paper as an
-// executable measurement (experiments E1–E8 of DESIGN.md) plus the
-// ablations A1–A4. Each experiment returns a Result with a human-readable
+// executable measurement (experiments E1–E13 of DESIGN.md) plus the
+// ablations A1–A5. Each experiment returns a Result with a human-readable
 // table and structured metrics; cmd/decos-bench prints them and the
 // repo-root benchmarks time them.
 package experiments
@@ -57,6 +57,7 @@ func All(seed uint64) []*Result {
 		E10Scale(seed),
 		E11RepairLoop(seed),
 		E12Robustness(seed),
+		E13FleetWarranty(seed),
 		A1WindowSweep(seed),
 		A2AlphaSweep(seed),
 		A3Encapsulation(seed),
@@ -92,6 +93,8 @@ func ByID(id string, seed uint64) (*Result, bool) {
 		return E11RepairLoop(seed), true
 	case "E12":
 		return E12Robustness(seed), true
+	case "E13":
+		return E13FleetWarranty(seed), true
 	case "A1":
 		return A1WindowSweep(seed), true
 	case "A2":

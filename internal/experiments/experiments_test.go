@@ -190,6 +190,22 @@ func TestE12Robustness(t *testing.T) {
 	}
 }
 
+func TestE13FleetWarrantyAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet campaign in -short mode")
+	}
+	r := E13FleetWarranty(seed)
+	if r.Metrics["agree"] != 1 {
+		t.Errorf("trace-fed summary diverged from in-process audit:\n%s", r.Table)
+	}
+	if r.Metrics["decos_nff_ratio"] >= r.Metrics["obd_nff_ratio"] {
+		t.Errorf("NFF comparison inverted over the warranty interface:\n%s", r.Table)
+	}
+	if r.Metrics["events"] == 0 {
+		t.Error("no events ingested")
+	}
+}
+
 func TestA5DiagBandwidth(t *testing.T) {
 	r := A5DiagBandwidth(seed)
 	if r.Metrics["drops_a32"] <= r.Metrics["drops_a128"] {

@@ -12,7 +12,6 @@ package fleet
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"decos/internal/core"
@@ -30,10 +29,12 @@ type Incident struct {
 	Pattern string
 }
 
-// Aggregator accumulates incidents across a fleet.
+// Aggregator accumulates incidents across a fleet: a recording layer over
+// the incremental Tally that additionally retains the incident records for
+// engineering review.
 type Aggregator struct {
 	fleetSize int
-	byJob     map[string]map[int]bool // job -> set of reporting vehicles
+	tally     *Tally
 	incidents []Incident
 }
 
@@ -42,21 +43,15 @@ func NewAggregator(fleetSize int) *Aggregator {
 	if fleetSize <= 0 {
 		panic("fleet: fleet size must be positive")
 	}
-	return &Aggregator{fleetSize: fleetSize, byJob: make(map[string]map[int]bool)}
+	return &Aggregator{fleetSize: fleetSize, tally: NewTally()}
 }
 
 // Add records one incident.
 func (a *Aggregator) Add(inc Incident) {
-	if !inc.Class.Matches(core.JobInherent) && inc.Class != core.JobInherent &&
-		inc.Class != core.JobInherentSoftware && inc.Class != core.JobInherentSensor {
+	if !Relevant(inc.Class) {
 		return // only job-inherent findings participate in fleet analysis
 	}
-	set := a.byJob[inc.Job]
-	if set == nil {
-		set = make(map[int]bool)
-		a.byJob[inc.Job] = set
-	}
-	set[inc.Vehicle] = true
+	a.tally.Observe(inc.Vehicle, inc.Job)
 	a.incidents = append(a.incidents, inc)
 }
 
@@ -65,14 +60,14 @@ func (a *Aggregator) Incidents() []Incident { return a.incidents }
 
 // JobStat is the fleet statistic of one software module.
 type JobStat struct {
-	Job string
+	Job string `json:"job"`
 	// Vehicles is the number of distinct vehicles reporting the job.
-	Vehicles int
+	Vehicles int `json:"vehicles"`
 	// Share is Vehicles / fleet size.
-	Share float64
+	Share float64 `json:"share"`
 	// Systematic classifies the fault as a software design fault (true)
 	// or a vehicle-local transducer/hardware issue (false).
-	Systematic bool
+	Systematic bool `json:"systematic"`
 }
 
 // Analyze classifies each reported job: systematic when its share of the
@@ -80,58 +75,14 @@ type JobStat struct {
 // design fault reproduces across the population; a transducer fault does
 // not). Results are ordered by descending share.
 func (a *Aggregator) Analyze(threshold float64) []JobStat {
-	var out []JobStat
-	for job, set := range a.byJob {
-		share := float64(len(set)) / float64(a.fleetSize)
-		out = append(out, JobStat{
-			Job:        job,
-			Vehicles:   len(set),
-			Share:      share,
-			Systematic: share >= threshold,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Vehicles != out[j].Vehicles {
-			return out[i].Vehicles > out[j].Vehicles
-		}
-		return out[i].Job < out[j].Job
-	})
-	return out
+	return a.tally.Analyze(a.fleetSize, threshold)
 }
 
 // Pareto returns the fraction of all incidents caused by the top topShare
 // fraction of reported jobs — the paper's 20-80 observation evaluates to
 // Pareto(0.2) ≈ 0.8 when the rule holds.
 func (a *Aggregator) Pareto(topShare float64) float64 {
-	counts := map[string]int{}
-	for _, inc := range a.incidents {
-		counts[inc.Job]++
-	}
-	if len(counts) == 0 {
-		return 0
-	}
-	var jobs []string
-	for j := range counts {
-		jobs = append(jobs, j)
-	}
-	sort.Slice(jobs, func(i, k int) bool {
-		if counts[jobs[i]] != counts[jobs[k]] {
-			return counts[jobs[i]] > counts[jobs[k]]
-		}
-		return jobs[i] < jobs[k]
-	})
-	top := int(topShare*float64(len(jobs)) + 0.5)
-	if top < 1 {
-		top = 1
-	}
-	if top > len(jobs) {
-		top = len(jobs)
-	}
-	covered := 0
-	for _, j := range jobs[:top] {
-		covered += counts[j]
-	}
-	return float64(covered) / float64(len(a.incidents))
+	return a.tally.Pareto(topShare)
 }
 
 // Report renders the analysis as a table.

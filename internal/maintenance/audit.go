@@ -29,7 +29,12 @@ type Advisor interface {
 
 // Outcome is the audited result of one fault activation.
 type Outcome struct {
+	// Activation is the audited ground-truth entry; nil when the audit
+	// runs from trace data (off-line warranty analysis) where only the
+	// truth class survives.
 	Activation *faults.Activation
+	// Truth is the ground-truth class the outcome was judged against.
+	Truth core.FaultClass
 	// Diagnosed is the advisor's class for the culprit (or the affected
 	// FRU for external faults); ClassUnknown when no finding existed.
 	Diagnosed core.FaultClass
@@ -158,59 +163,79 @@ func nff(truth core.FaultClass, action core.MaintenanceAction) bool {
 func Evaluate(ledger []*faults.Activation, adv Advisor) *Report {
 	r := &Report{Confusion: make(map[core.FaultClass]map[core.FaultClass]int)}
 	for _, a := range ledger {
-		out := auditOne(a, adv)
-		r.Outcomes = append(r.Outcomes, out)
-		r.Total++
-		if r.Confusion[a.Class] == nil {
-			r.Confusion[a.Class] = make(map[core.FaultClass]int)
-		}
-		r.Confusion[a.Class][out.Diagnosed]++
-		if out.CorrectClass {
-			r.CorrectClass++
-		}
-		if out.CorrectAction {
-			r.CorrectActions++
-		}
-		if out.Action.Removal() {
-			r.TotalRemovals++
-		}
-		if out.NFF {
-			r.NFFRemovals++
-		}
-		if out.Missed {
-			r.Missed++
-		}
-		r.Cost += out.Cost
+		r.Record(auditOne(a, adv))
 	}
 	return r
 }
 
-func auditOne(a *faults.Activation, adv Advisor) Outcome {
-	subject := a.Culprit
-	if subject == faults.NoCulprit {
-		// External fault: judge by the most-affected FRU (first listed).
-		if len(a.Affected) > 0 {
-			subject = a.Affected[0]
-		}
+// Record accumulates one audited outcome into the report's counters and
+// confusion matrix — the single accumulation path shared by the in-process
+// campaign audit and the trace-fed warranty analysis.
+func (r *Report) Record(out Outcome) {
+	if r.Confusion == nil {
+		r.Confusion = make(map[core.FaultClass]map[core.FaultClass]int)
 	}
-	action, diagnosed, found := adv.Advise(subject)
+	r.Outcomes = append(r.Outcomes, out)
+	r.Total++
+	if r.Confusion[out.Truth] == nil {
+		r.Confusion[out.Truth] = make(map[core.FaultClass]int)
+	}
+	r.Confusion[out.Truth][out.Diagnosed]++
+	if out.CorrectClass {
+		r.CorrectClass++
+	}
+	if out.CorrectAction {
+		r.CorrectActions++
+	}
+	if out.Action.Removal() {
+		r.TotalRemovals++
+	}
+	if out.NFF {
+		r.NFFRemovals++
+	}
+	if out.Missed {
+		r.Missed++
+	}
+	r.Cost += out.Cost
+}
+
+// AuditSubject returns the FRU an audit judges an activation by: the
+// culprit, or the most-affected FRU (first listed) for external faults.
+func AuditSubject(a *faults.Activation) core.FRU {
+	if a.Culprit == faults.NoCulprit && len(a.Affected) > 0 {
+		return a.Affected[0]
+	}
+	return a.Culprit
+}
+
+// Judge audits one classified incident given only the ground-truth class,
+// the diagnosed class and the action taken — the pure audit rule, usable
+// without an activation (off-line trace analysis). found=false states that
+// the advisor had no finding for the subject.
+func Judge(truth, diagnosed core.FaultClass, action core.MaintenanceAction, found bool) Outcome {
 	if !found {
 		action = core.ActionNone
 		diagnosed = core.ClassUnknown
 	}
-
 	out := Outcome{
-		Activation: a,
-		Diagnosed:  diagnosed,
-		Action:     action,
+		Truth:     truth,
+		Diagnosed: diagnosed,
+		Action:    action,
 	}
-	out.CorrectClass = a.Class.Matches(diagnosed)
-	out.CorrectAction = actionAcceptable(a.Class, action)
-	out.NFF = nff(a.Class, action)
-	out.Missed = requiredAction(a.Class) != core.ActionNone && action == core.ActionNone
+	out.CorrectClass = truth.Matches(diagnosed)
+	out.CorrectAction = actionAcceptable(truth, action)
+	out.NFF = nff(truth, action)
+	out.Missed = requiredAction(truth) != core.ActionNone && action == core.ActionNone
 	if action.Removal() {
 		out.Cost = RemovalCost
 	}
+	return out
+}
+
+func auditOne(a *faults.Activation, adv Advisor) Outcome {
+	action, diagnosed, found := adv.Advise(AuditSubject(a))
+	out := Judge(a.Class, diagnosed, action, found)
+	out.Activation = a
 	return out
 }
 

@@ -1,15 +1,18 @@
 package scenario
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"decos/internal/core"
 	"decos/internal/diagnosis"
 	"decos/internal/faults"
+	"decos/internal/fleet"
 	"decos/internal/maintenance"
-	"sync"
-
 	"decos/internal/sim"
+	"decos/internal/trace"
 	"decos/internal/tt"
 )
 
@@ -177,6 +180,9 @@ type CampaignResult struct {
 	DECOSFalseAlarms int
 	OBDFalseAlarms   int
 	FaultFreeCount   int
+	// Fleet tallies every job-inherent verdict across the fleet (Section
+	// V-C): the 20-80 concentration and systematic-fault separation.
+	Fleet *fleet.Tally
 }
 
 // vehiclePlan is one vehicle's pre-drawn randomness, fixed before any
@@ -197,11 +203,32 @@ type vehicleOutcome struct {
 	acts             []*faults.Activation
 	diag             maintenance.Advisor
 	obd              maintenance.Advisor
+	incidents        []fleet.Incident
 }
+
+// TraceSink receives one vehicle's complete NDJSON trace, audit block
+// included. Vehicles are 1-based. It is invoked from worker goroutines:
+// implementations must be safe for concurrent use.
+type TraceSink func(vehicle int, ndjson []byte)
 
 // Run executes the campaign — in parallel when Workers > 1 — and audits
 // both diagnosers against the shared ground truth.
-func (c Campaign) Run() *CampaignResult {
+func (c Campaign) Run() *CampaignResult { return c.run(nil) }
+
+// RunTraced is Run doubling as the fleet load generator: every vehicle
+// additionally records a JSON-lines trace (failed frames, symptoms,
+// verdicts, trust samples, injections, end-of-run audit) and hands it to
+// sink — the off-line warranty-analysis interface of Section V-B at fleet
+// scale. Recording only observes, so the returned result is bit-identical
+// to Run's for the same seeds. Workers ≤ 0 uses runtime.NumCPU().
+func (c Campaign) RunTraced(sink TraceSink) *CampaignResult {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	return c.run(sink)
+}
+
+func (c Campaign) run(sink TraceSink) *CampaignResult {
 	mix := c.Mix
 	if mix == nil {
 		mix = DefaultMix()
@@ -240,6 +267,12 @@ func (c Campaign) Run() *CampaignResult {
 		p := plans[v]
 		sys := Fig10(p.seed, c.Opts)
 		horizon := sim.Time(c.Rounds * sys.Cluster.Cfg.RoundDuration().Micros())
+		var rec *trace.Recorder
+		var buf bytes.Buffer
+		if sink != nil {
+			rec = trace.Attach(sys.Cluster, sys.Diag, sys.Injector, &buf,
+				trace.Options{TrustEveryEpochs: 5, Vehicle: v + 1})
+		}
 		out := vehicleOutcome{faultFree: p.faultFree, diag: sys.Diag, obd: sys.OBD}
 		for i, kind := range p.kinds {
 			at := sim.Time(float64(horizon) * p.atFrac[i])
@@ -249,6 +282,19 @@ func (c Campaign) Run() *CampaignResult {
 		if p.faultFree {
 			out.decosFalseAlarms = countRemovalAdvice(sys, sys.Diag)
 			out.obdFalseAlarms = countRemovalAdvice(sys, sys.OBD)
+		}
+		for _, vd := range sys.Diag.Assessor.Emitted() {
+			if fleet.Relevant(vd.Class) {
+				out.incidents = append(out.incidents, fleet.Incident{
+					Vehicle: v + 1, Job: vd.FRU.Job, Class: vd.Class, Pattern: vd.Pattern,
+				})
+			}
+		}
+		if rec != nil {
+			rec.WriteAudit(horizon, p.faultFree, out.acts,
+				[]trace.Advisor{{Name: "decos", Adv: sys.Diag}, {Name: "obd", Adv: sys.OBD}},
+				hardwareFRUs(sys))
+			sink(v+1, buf.Bytes())
 		}
 		outcomes[v] = out
 	}
@@ -277,9 +323,12 @@ func (c Campaign) Run() *CampaignResult {
 	}
 
 	// Merge in vehicle order: deterministic regardless of Workers.
-	res := &CampaignResult{}
+	res := &CampaignResult{Fleet: fleet.NewTally()}
 	var decosLedger, obdLedger []auditPair
 	for _, out := range outcomes {
+		for _, inc := range out.incidents {
+			res.Fleet.Observe(inc.Vehicle, inc.Job)
+		}
 		if out.faultFree {
 			res.FaultFreeCount++
 			res.DECOSFalseAlarms += out.decosFalseAlarms
@@ -306,25 +355,21 @@ type auditPair struct {
 func evaluatePairs(pairs []auditPair) *maintenance.Report {
 	merged := &maintenance.Report{Confusion: map[core.FaultClass]map[core.FaultClass]int{}}
 	for _, p := range pairs {
-		r := maintenance.Evaluate([]*faults.Activation{p.act}, p.adv)
-		merged.Outcomes = append(merged.Outcomes, r.Outcomes...)
-		merged.Total += r.Total
-		merged.CorrectClass += r.CorrectClass
-		merged.CorrectActions += r.CorrectActions
-		merged.NFFRemovals += r.NFFRemovals
-		merged.TotalRemovals += r.TotalRemovals
-		merged.Missed += r.Missed
-		merged.Cost += r.Cost
-		for truth, row := range r.Confusion {
-			if merged.Confusion[truth] == nil {
-				merged.Confusion[truth] = map[core.FaultClass]int{}
-			}
-			for d, n := range row {
-				merged.Confusion[truth][d] += n
-			}
+		for _, out := range maintenance.Evaluate([]*faults.Activation{p.act}, p.adv).Outcomes {
+			merged.Record(out)
 		}
 	}
 	return merged
+}
+
+// hardwareFRUs lists the hardware FRUs of a system (the audit block
+// interrogates advisors about each so false alarms are trace-visible).
+func hardwareFRUs(sys *System) []core.FRU {
+	var out []core.FRU
+	for _, c := range sys.Cluster.Components() {
+		out = append(out, core.HardwareFRU(int(c.ID)))
+	}
+	return out
 }
 
 // countRemovalAdvice counts hardware FRUs the advisor would remove on a

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func ptrInt(v int) *int { return &v }
+
+func sampleEvents() []Event {
+	tv := 0.42
+	return []Event{
+		{T: 1000, Kind: "frame", Sender: ptrInt(2), Slot: ptrInt(3), Status: "corrupt"},
+		{T: 2000, Kind: "symptom", Symptom: "omission", Subject: "component[1]", Observer: ptrInt(0), Count: 4, Dev: 1.5},
+		{T: 3000, Kind: "verdict", Subject: "job[A/A1@0]", Class: "job-inherent", Pattern: "software", Action: "inspect-transducer", Conf: 0.8},
+		{T: 4000, Kind: "trust", Subject: "component[2]", Trust: &tv},
+		{T: 5000, Kind: "injection", Class: "component-borderline", Subject: "component[0]", Detail: "tx connector fretting"},
+	}
+}
+
+// TestReaderRoundTrip writes events with the Recorder and reads them back.
+func TestReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf, Options{Vehicle: 7})
+	for _, e := range sampleEvents() {
+		rec.write(e)
+	}
+	if rec.Err != nil {
+		t.Fatal(rec.Err)
+	}
+
+	r := NewReader(&buf)
+	var got []Event
+	if err := r.ReadAll(func(e Event) { got = append(got, e) }); err != nil {
+		t.Fatal(err)
+	}
+	want := sampleEvents()
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Vehicle != 7 {
+			t.Errorf("event %d: vehicle = %d, want 7 (stamped)", i, e.Vehicle)
+		}
+		if e.Kind != want[i].Kind || e.T != want[i].T || e.Subject != want[i].Subject {
+			t.Errorf("event %d mismatch: %+v vs %+v", i, e, want[i])
+		}
+	}
+	if e := sampleEvents()[3]; got[3].Trust == nil || *got[3].Trust != *e.Trust {
+		t.Error("trust value lost in round trip")
+	}
+	if r.Corrupt() != 0 || r.Lines() != len(want) {
+		t.Errorf("lines=%d corrupt=%d, want %d/0", r.Lines(), r.Corrupt(), len(want))
+	}
+}
+
+// TestReaderRecovery: corrupt lines are counted and skipped, never fatal.
+func TestReaderRecovery(t *testing.T) {
+	stream := `{"t_us":1,"kind":"frame"}
+this is not json
+{"t_us":2,"kind":"symptom","subject":"component[1]"}
+{"t_us":3,   <- truncated
+{"no_kind_field":true}
+
+{"t_us":4,"kind":"trust","subject":"component[2]"}
+`
+	r := NewReader(strings.NewReader(stream))
+	var kinds []string
+	if err := r.ReadAll(func(e Event) { kinds = append(kinds, e.Kind) }); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"frame", "symptom", "trust"}; strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+	if r.Corrupt() != 3 {
+		t.Errorf("corrupt = %d, want 3", r.Corrupt())
+	}
+	if r.Lines() != 6 {
+		t.Errorf("lines = %d, want 6 (empty line not counted)", r.Lines())
+	}
+}
+
+// TestReaderBoundedLine: an over-long line is dropped without growing the
+// decode buffer and without killing the stream.
+func TestReaderBoundedLine(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"t_us":1,"kind":"frame"}` + "\n")
+	buf.WriteString(`{"t_us":2,"kind":"symptom","detail":"` + strings.Repeat("x", 1<<21) + `"}` + "\n")
+	buf.WriteString(`{"t_us":3,"kind":"trust"}` + "\n")
+
+	r := NewReader(&buf)
+	r.SetMaxLineBytes(64 << 10)
+	var kinds []string
+	if err := r.ReadAll(func(e Event) { kinds = append(kinds, e.Kind) }); err != nil {
+		t.Fatal(err)
+	}
+	if want := "frame,trust"; strings.Join(kinds, ",") != want {
+		t.Errorf("kinds = %v, want %s", kinds, want)
+	}
+	if r.Corrupt() != 1 {
+		t.Errorf("corrupt = %d, want 1", r.Corrupt())
+	}
+}
+
+// TestReaderNoTrailingNewline: the final unterminated line still decodes.
+func TestReaderNoTrailingNewline(t *testing.T) {
+	r := NewReader(strings.NewReader(`{"t_us":9,"kind":"frame"}`))
+	e, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.T != 9 || e.Kind != "frame" {
+		t.Errorf("got %+v", e)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want io.EOF, got %v", err)
+	}
+}

@@ -21,7 +21,15 @@ import (
 // Event is one trace record. Fields are populated per Kind.
 type Event struct {
 	T    int64  `json:"t_us"`
-	Kind string `json:"kind"` // frame | symptom | verdict | trust | injection
+	Kind string `json:"kind"` // frame | symptom | verdict | trust | injection | vehicle | truth | advice
+
+	// Vehicle identifies the originating vehicle in fleet traces
+	// (1-based; 0 = single-vehicle trace). Stamped on every event when
+	// Options.Vehicle is set, so mixed fleet streams remain shardable.
+	Vehicle int `json:"vehicle,omitempty"`
+
+	// Source names the advisor an advice event came from ("decos"/"obd").
+	Source string `json:"source,omitempty"`
 
 	// frame
 	Sender *int   `json:"sender,omitempty"`
@@ -56,6 +64,9 @@ type Options struct {
 	// TrustEveryEpochs samples trust levels every N assessment epochs
 	// (0 disables trust sampling).
 	TrustEveryEpochs int64
+	// Vehicle stamps every event with a vehicle identity (1-based) for
+	// fleet-scale traces; 0 leaves events unstamped.
+	Vehicle int
 }
 
 // Recorder writes trace events to a JSON-lines stream.
@@ -146,6 +157,9 @@ func Attach(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Injecto
 func (r *Recorder) write(e Event) {
 	if r.Err != nil {
 		return
+	}
+	if e.Vehicle == 0 {
+		e.Vehicle = r.opts.Vehicle
 	}
 	if err := r.enc.Encode(e); err != nil {
 		r.Err = err

@@ -1,0 +1,143 @@
+package warranty
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+)
+
+// ServerOptions tunes the ingestion HTTP front end. Zero values select
+// the defaults.
+type ServerOptions struct {
+	// MaxInflight bounds concurrently served ingest requests — the
+	// ingest queue. A request arriving with the queue full is refused
+	// with 429 so backpressure propagates to the uplink instead of
+	// growing server memory. Default 64.
+	MaxInflight int
+	// MaxLineBytes bounds one NDJSON line per connection
+	// (trace.DefaultMaxLineBytes when 0).
+	MaxLineBytes int
+	// MaxBodyBytes bounds one ingest request body (default 256 MiB).
+	MaxBodyBytes int64
+	// Threshold is the systematic-fault vehicle share for summaries
+	// (DefaultThreshold when 0); overridable per request with
+	// ?threshold=.
+	Threshold float64
+}
+
+// Server exposes a Collector over HTTP (stdlib only):
+//
+//	POST /v1/ingest        NDJSON trace events; 429 when the queue is full
+//	GET  /v1/fleet/summary fleet aggregate (?threshold= optional)
+//	GET  /v1/fru/{id}      per-FRU drill-down (id URL-escaped)
+//	GET  /v1/healthz       liveness + ingestion counters
+type Server struct {
+	c        *Collector
+	opts     ServerOptions
+	sem      chan struct{}
+	inflight atomic.Int64
+	mux      *http.ServeMux
+}
+
+// NewServer wraps a collector with the HTTP API.
+func NewServer(c *Collector, opts ServerOptions) *Server {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 64
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 256 << 20
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = DefaultThreshold
+	}
+	s := &Server{
+		c:    c,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxInflight),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/fleet/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /v1/fru/{id...}", s.handleFRU)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "ingest queue full"})
+		return
+	}
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		<-s.sem
+	}()
+
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	events, corrupt, err := s.c.IngestStream(body, s.opts.MaxLineBytes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Ingested int `json:"ingested"`
+		Corrupt  int `json:"corrupt"`
+	}{events, corrupt})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	threshold := s.opts.Threshold
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil || v <= 0 || v > 1 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "threshold must be in (0,1]"})
+			return
+		}
+		threshold = v
+	}
+	writeJSON(w, http.StatusOK, s.c.Summary(threshold))
+}
+
+func (s *Server) handleFRU(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if unescaped, err := url.PathUnescape(id); err == nil {
+		id = unescaped
+	}
+	d, ok := s.c.FRU(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown FRU " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status    string `json:"status"`
+		Vehicles  int    `json:"vehicles"`
+		Events    int64  `json:"events"`
+		Corrupt   int64  `json:"corrupt_lines"`
+		Malformed int64  `json:"malformed_events"`
+		Inflight  int64  `json:"inflight_ingests"`
+	}{"ok", s.c.Vehicles(), s.c.Events(), s.c.Corrupt(), s.c.Malformed(), s.inflight.Load()})
+}
