@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench build fmt vet
+.PHONY: check test race bench benchfull benchall build fmt vet
 
 # Full gate: gofmt (failing), vet, build, tests under -race.
 check:
@@ -15,7 +15,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Fast perf gate: smoke-run the curated benchmark set, enforce the
+# hot-path allocation guards, and verify the committed perf-trajectory
+# report still parses.
 bench:
+	./scripts/bench.sh -short
+	$(GO) test -run 'TestAllocGuard' -v .
+	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr2.json
+
+# Full curated benchmark run (steady-state set at default benchtime plus
+# one-shot E8/E13); pass BASELINE=old.txt to diff against a prior run.
+benchfull:
+	./scripts/bench.sh $(if $(BASELINE),-baseline $(BASELINE))
+
+# Every benchmark in the repository.
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 fmt:

@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	decos-bench [-experiment E1|...|A4|all] [-seed N]
+//	decos-bench [-experiment E1|...|A4|all] [-seed N] [-cpuprofile F] [-memprofile F]
+//
+// The profile flags write pprof data covering the experiment run itself
+// (not flag parsing or output formatting), for `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"decos/internal/experiments"
@@ -19,17 +24,51 @@ import (
 func main() {
 	which := flag.String("experiment", "all", "experiment id (E1..E8, A1..A4) or 'all'")
 	seed := flag.Uint64("seed", 20050404, "master seed")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write allocation profile to file on exit")
 	flag.Parse()
 
-	if strings.EqualFold(*which, "all") {
-		for _, r := range experiments.All(*seed) {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "decos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	run(*which, *seed)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "decos-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(which string, seed uint64) {
+	if strings.EqualFold(which, "all") {
+		for _, r := range experiments.All(seed) {
 			fmt.Println(r)
 		}
 		return
 	}
-	r, ok := experiments.ByID(*which, *seed)
+	r, ok := experiments.ByID(which, seed)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (use E1..E8, A1..A4, all)\n", *which)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use E1..E8, A1..A4, all)\n", which)
 		os.Exit(2)
 	}
 	fmt.Println(r)

@@ -1,0 +1,216 @@
+// Command decos-benchcmp is a dependency-free comparator for `go test
+// -bench` output. It parses one or two benchmark result files, pairs
+// benchmarks by name, and emits a JSON comparison report — the perf
+// trajectory artifact committed as BENCH_<pr>.json at each optimization PR.
+//
+// Usage:
+//
+//	decos-benchcmp [-o report.json] [-label-old S] [-label-new S] old.txt new.txt
+//	decos-benchcmp -snapshot [-o report.json] new.txt
+//	decos-benchcmp -verify report.json
+//
+// With two inputs the report carries before/after pairs plus ns and alloc
+// ratios; -max-ns-ratio makes it a regression gate (non-zero exit when any
+// paired benchmark slowed by more than the factor). -verify parses an
+// existing report and checks its structure, for CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark measurement.
+type Result struct {
+	N           int64   `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	HasMem      bool    `json:"-"`
+}
+
+// Entry pairs a benchmark's before/after measurements.
+type Entry struct {
+	Name       string  `json:"name"`
+	Before     *Result `json:"before,omitempty"`
+	After      *Result `json:"after,omitempty"`
+	NsRatio    float64 `json:"ns_ratio,omitempty"`    // after/before; <1 is faster
+	AllocRatio float64 `json:"alloc_ratio,omitempty"` // after/before; <1 allocates less
+}
+
+// Report is the JSON artifact.
+type Report struct {
+	Schema   string  `json:"schema"`
+	LabelOld string  `json:"label_old,omitempty"`
+	LabelNew string  `json:"label_new,omitempty"`
+	Entries  []Entry `json:"benchmarks"`
+}
+
+const schema = "decos-benchcmp/v1"
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseFile reads go-test bench output, returning results keyed by
+// benchmark name (Benchmark prefix and -GOMAXPROCS suffix stripped) and the
+// names in first-seen order.
+func parseFile(path string) (map[string]*Result, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	results := make(map[string]*Result)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		r := &Result{}
+		r.N, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			r.HasMem = true
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if _, seen := results[name]; !seen {
+			order = append(order, name)
+		}
+		results[name] = r // last run wins when a name repeats
+	}
+	return results, order, sc.Err()
+}
+
+func verify(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != schema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, schema)
+	}
+	if len(rep.Entries) == 0 {
+		return fmt.Errorf("%s: no benchmarks", path)
+	}
+	for _, e := range rep.Entries {
+		if e.Name == "" || (e.Before == nil && e.After == nil) {
+			return fmt.Errorf("%s: malformed entry %+v", path, e)
+		}
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON report to file (default stdout)")
+	labelOld := flag.String("label-old", "before", "label for the first input")
+	labelNew := flag.String("label-new", "after", "label for the second input")
+	snapshot := flag.Bool("snapshot", false, "single-input mode: record measurements without comparison")
+	verifyPath := flag.String("verify", "", "parse an existing JSON report and exit")
+	maxNsRatio := flag.Float64("max-ns-ratio", 0, "fail when any paired benchmark's ns ratio exceeds this (0 disables)")
+	flag.Parse()
+
+	if *verifyPath != "" {
+		if err := verify(*verifyPath); err != nil {
+			fmt.Fprintf(os.Stderr, "decos-benchcmp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *verifyPath)
+		return
+	}
+
+	args := flag.Args()
+	wantArgs := 2
+	if *snapshot {
+		wantArgs = 1
+	}
+	if len(args) != wantArgs {
+		fmt.Fprintf(os.Stderr, "usage: decos-benchcmp [-o out.json] old.txt new.txt\n"+
+			"       decos-benchcmp -snapshot [-o out.json] new.txt\n"+
+			"       decos-benchcmp -verify report.json\n")
+		os.Exit(2)
+	}
+
+	rep := Report{Schema: schema}
+	var regressions []string
+	if *snapshot {
+		results, order, err := parseFile(args[0])
+		fatal(err)
+		rep.LabelNew = *labelNew
+		for _, name := range order {
+			rep.Entries = append(rep.Entries, Entry{Name: name, After: results[name]})
+		}
+	} else {
+		before, orderOld, err := parseFile(args[0])
+		fatal(err)
+		after, orderNew, err := parseFile(args[1])
+		fatal(err)
+		rep.LabelOld, rep.LabelNew = *labelOld, *labelNew
+		seen := make(map[string]bool)
+		for _, name := range append(append([]string{}, orderOld...), orderNew...) {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			e := Entry{Name: name, Before: before[name], After: after[name]}
+			if e.Before != nil && e.After != nil {
+				if e.Before.NsPerOp > 0 {
+					e.NsRatio = round4(e.After.NsPerOp / e.Before.NsPerOp)
+				}
+				if e.Before.AllocsPerOp > 0 {
+					e.AllocRatio = round4(float64(e.After.AllocsPerOp) / float64(e.Before.AllocsPerOp))
+				}
+				if *maxNsRatio > 0 && e.NsRatio > *maxNsRatio {
+					regressions = append(regressions,
+						fmt.Sprintf("%s: ns ratio %.3f exceeds %.3f", name, e.NsRatio, *maxNsRatio))
+				}
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	if len(rep.Entries) == 0 {
+		fmt.Fprintln(os.Stderr, "decos-benchcmp: no benchmark lines found")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	data = append(data, '\n')
+	if *out != "" {
+		fatal(os.WriteFile(*out, data, 0o644))
+	} else {
+		os.Stdout.Write(data)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "decos-benchcmp: REGRESSION %s\n", r)
+		}
+		os.Exit(1)
+	}
+}
+
+func round4(v float64) float64 {
+	return float64(int64(v*10000+0.5)) / 10000
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decos-benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -100,7 +100,7 @@ func Attach(cl *component.Cluster) *OBD {
 	}
 
 	// Frame-level communication monitoring.
-	cl.Bus.Observe(func(f *tt.Frame, per map[tt.NodeID]tt.FrameStatus) {
+	cl.Bus.Observe(func(f *tt.Frame, _ []tt.FrameStatus) {
 		if f.Sender == tt.NoNode {
 			return
 		}

@@ -80,9 +80,19 @@ func FTA(devs []float64, k int) float64 {
 	}
 	sorted := make([]float64, n)
 	copy(sorted, devs)
-	insertionSort(sorted)
+	return ftaSorted(sorted, k)
+}
+
+// ftaSorted is FTA's core on a caller-owned scratch copy of the
+// measurements; it sorts in place.
+func ftaSorted(scratch []float64, k int) float64 {
+	n := len(scratch)
+	if n == 0 || 2*k >= n {
+		return 0
+	}
+	insertionSort(scratch)
 	sum := 0.0
-	for _, v := range sorted[k : n-k] {
+	for _, v := range scratch[k : n-k] {
 		sum += v
 	}
 	return sum / float64(n-2*k)
@@ -111,6 +121,11 @@ type Cluster struct {
 	Tolerated int
 
 	inSync []bool
+
+	// Resync scratch, reused every round.
+	devs        []float64
+	idx         []int
+	sortScratch []float64
 }
 
 // NewCluster builds a cluster of n oscillators with drifts drawn uniformly
@@ -139,9 +154,8 @@ func (c *Cluster) InSync(i int) bool { return c.inSync[i] }
 // midpoint exceeds PrecisionUS are marked out of sync and do not contribute
 // to subsequent corrections.
 func (c *Cluster) Resync(now sim.Time) float64 {
-	n := len(c.Oscillators)
-	devs := make([]float64, 0, n)
-	idx := make([]int, 0, n)
+	devs := c.devs[:0]
+	idx := c.idx[:0]
 	for i, o := range c.Oscillators {
 		if !c.inSync[i] {
 			continue
@@ -149,7 +163,9 @@ func (c *Cluster) Resync(now sim.Time) float64 {
 		devs = append(devs, o.Deviation(now))
 		idx = append(idx, i)
 	}
-	mid := FTA(devs, c.Tolerated)
+	c.devs, c.idx = devs[:0], idx[:0]
+	c.sortScratch = append(c.sortScratch[:0], devs...)
+	mid := ftaSorted(c.sortScratch, c.Tolerated)
 	// Correct each in-sync node toward the ensemble midpoint and check the
 	// precision window.
 	for j, i := range idx {

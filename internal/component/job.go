@@ -130,6 +130,8 @@ type Context struct {
 	// Rand is the job's private random stream.
 	Rand *sim.RNG
 	env  *Environment
+
+	fbuf [8]byte // SendFloat scratch (Send copies the payload)
 }
 
 // Send publishes payload on one of the job's output channels, applying any
@@ -152,7 +154,7 @@ func (c *Context) Send(ch vnet.ChannelID, payload []byte) bool {
 
 // SendFloat publishes a float64 value on ch.
 func (c *Context) SendFloat(ch vnet.ChannelID, v float64) bool {
-	return c.Send(ch, vnet.FloatPayload(v))
+	return c.Send(ch, vnet.AppendFloat(c.fbuf[:0], v))
 }
 
 // Receive pops the oldest queued message on one of the job's input ports.

@@ -1,8 +1,6 @@
 package diagnosis
 
 import (
-	"sort"
-
 	"decos/internal/core"
 	"decos/internal/sim"
 	"decos/internal/vnet"
@@ -178,6 +176,12 @@ type Assessor struct {
 	emitted   []Verdict
 	epoch     int64
 
+	// Epoch evaluation scratch, reused every epoch: the context (and its
+	// ONA scratch), the per-epoch finding map and the subject sort buffer.
+	evalCtx     *EvalContext
+	decided     map[FRUIndex]Finding
+	subjectsBuf []FRUIndex
+
 	// SymptomsReceived counts decoded symptom records.
 	SymptomsReceived int
 	// DecodeFailures counts undecodable diagnostic messages (corrupted
@@ -204,6 +208,17 @@ func NewAssessor(reg *Registry, opts Options) *Assessor {
 		trust:     make(map[FRUIndex]float64),
 		trustHist: make(map[FRUIndex][]TrustPoint),
 		current:   make(map[FRUIndex]Verdict),
+		decided:   make(map[FRUIndex]Finding),
+	}
+	a.evalCtx = &EvalContext{
+		Hist:      a.Hist,
+		Reg:       a.Reg,
+		Alpha:     a.Alpha,
+		SW:        a.SW,
+		Window:    a.opts.WindowGranules,
+		Opts:      a.opts,
+		Explained: make(map[FRUIndex]bool),
+		Decided:   make(map[FRUIndex]core.FaultClass),
 	}
 	for i := 0; i < reg.Len(); i++ {
 		a.trust[FRUIndex(i)] = 1
@@ -259,19 +274,13 @@ func (a *Assessor) EvaluateNow(granule int64, now sim.Time) {
 
 func (a *Assessor) evaluateEpoch(granule int64, now sim.Time) {
 	a.epoch++
-	ctx := &EvalContext{
-		Hist:      a.Hist,
-		Reg:       a.Reg,
-		Alpha:     a.Alpha,
-		SW:        a.SW,
-		Granule:   granule,
-		Window:    a.opts.WindowGranules,
-		Opts:      a.opts,
-		Explained: make(map[FRUIndex]bool),
-		Decided:   make(map[FRUIndex]core.FaultClass),
-	}
+	ctx := a.evalCtx
+	ctx.Granule = granule
+	clear(ctx.Explained)
+	clear(ctx.Decided)
 
-	decided := make(map[FRUIndex]Finding)
+	decided := a.decided
+	clear(decided)
 	// Gating assertions first: spatial correlation (massive transient)
 	// and receiver-side connector attribution. Both also gate the α-count
 	// update, so symptoms they explain do not accumulate as recurrence
@@ -323,11 +332,16 @@ func (a *Assessor) evaluateEpoch(granule int64, now sim.Time) {
 	}
 
 	// Emit verdicts (deterministic order).
-	subjects := make([]FRUIndex, 0, len(decided))
+	subjects := a.subjectsBuf[:0]
 	for s := range decided {
 		subjects = append(subjects, s)
 	}
-	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	for i := 1; i < len(subjects); i++ {
+		for j := i; j > 0 && subjects[j] < subjects[j-1]; j-- {
+			subjects[j], subjects[j-1] = subjects[j-1], subjects[j]
+		}
+	}
+	a.subjectsBuf = subjects[:0]
 	for _, s := range subjects {
 		f := decided[s]
 		fru := a.Reg.FRU(s)
@@ -370,7 +384,7 @@ func (a *Assessor) updateTrust(decided map[FRUIndex]Finding, granule int64, now 
 		if a.Reg.IsHardware(f) {
 			weight = a.Hist.Count(f, epochFrom, granule, frameLevel)
 		} else {
-			weight = a.Hist.Count(f, epochFrom, granule, KindIn(SymValue, SymStale, SymStuck, SymReplica, SymOverflow))
+			weight = a.Hist.Count(f, epochFrom, granule, trustValueKinds)
 		}
 		t := a.trust[f]
 		if weight == 0 {

@@ -62,7 +62,7 @@ func Attach(cl *component.Cluster, diagNode tt.NodeID, opts Options) *Diagnostic
 
 	// Frame-level observation: dispatch each receiver's view to its
 	// monitor.
-	cl.Bus.Observe(func(f *tt.Frame, per map[tt.NodeID]tt.FrameStatus) {
+	cl.Bus.Observe(func(f *tt.Frame, per []tt.FrameStatus) {
 		for _, m := range d.Monitors {
 			if cl.Bus.Alive(m.Node) {
 				m.onSlot(f, per[m.Node])
@@ -94,7 +94,7 @@ func (d *Diagnostics) buildMonitor(c *component.Component) *Monitor {
 		cl:      d.cl,
 		net:     d.Net,
 		self:    self,
-		acc:     make(map[accKey]*accVal),
+		acc:     make(map[accKey]accVal),
 		KeepLog: d.opts.KeepMonitorLogs,
 	}
 

@@ -80,23 +80,37 @@ func KindIn(kinds ...Kind) Filter {
 	}
 }
 
+// list returns the subject's retained symptoms, granule-sorted. Shared
+// internal state: same-package query helpers iterate it without copying.
+func (h *History) list(subject FRUIndex) []Symptom { return h.bySubject[subject] }
+
 // Window returns the subject's symptoms with granule in [from, to]
 // (inclusive) that pass the filter.
 func (h *History) Window(subject FRUIndex, from, to int64, f Filter) []Symptom {
 	var out []Symptom
 	for _, s := range h.bySubject[subject] {
-		if s.Granule >= from && s.Granule <= to && (f == nil || f(s)) {
+		if s.Granule > to {
+			break
+		}
+		if s.Granule >= from && (f == nil || f(s)) {
 			out = append(out, s)
 		}
 	}
 	return out
 }
 
-// Count sums the Count fields of matching symptoms in the window.
+// Count sums the Count fields of matching symptoms in the window. The
+// subject list is granule-sorted, so the scan stops at the window's end and
+// allocates nothing — ONAs call this many times per epoch.
 func (h *History) Count(subject FRUIndex, from, to int64, f Filter) int {
 	n := 0
-	for _, s := range h.Window(subject, from, to, f) {
-		n += int(s.Count)
+	for _, s := range h.bySubject[subject] {
+		if s.Granule > to {
+			break
+		}
+		if s.Granule >= from && (f == nil || f(s)) {
+			n += int(s.Count)
+		}
 	}
 	return n
 }
@@ -104,11 +118,22 @@ func (h *History) Count(subject FRUIndex, from, to int64, f Filter) int {
 // Observers returns the distinct observers reporting matching symptoms for
 // the subject in the window.
 func (h *History) Observers(subject FRUIndex, from, to int64, f Filter) []FRUIndex {
-	seen := map[FRUIndex]bool{}
 	var out []FRUIndex
-	for _, s := range h.Window(subject, from, to, f) {
-		if !seen[s.Observer] {
-			seen[s.Observer] = true
+	for _, s := range h.bySubject[subject] {
+		if s.Granule > to {
+			break
+		}
+		if s.Granule < from || (f != nil && !f(s)) {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == s.Observer {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, s.Observer)
 		}
 	}
@@ -116,19 +141,19 @@ func (h *History) Observers(subject FRUIndex, from, to int64, f Filter) []FRUInd
 }
 
 // ActiveGranules returns the distinct granules with matching symptoms for
-// the subject in the window, ascending.
+// the subject in the window, ascending. The list is granule-sorted, so
+// distinctness is a comparison against the previous entry.
 func (h *History) ActiveGranules(subject FRUIndex, from, to int64, f Filter) []int64 {
-	seen := map[int64]bool{}
 	var out []int64
-	for _, s := range h.Window(subject, from, to, f) {
-		if !seen[s.Granule] {
-			seen[s.Granule] = true
-			out = append(out, s.Granule)
+	for _, s := range h.bySubject[subject] {
+		if s.Granule > to {
+			break
 		}
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+		if s.Granule < from || (f != nil && !f(s)) {
+			continue
+		}
+		if len(out) == 0 || out[len(out)-1] != s.Granule {
+			out = append(out, s.Granule)
 		}
 	}
 	return out
@@ -138,9 +163,14 @@ func (h *History) ActiveGranules(subject FRUIndex, from, to int64, f Filter) []i
 // window.
 func (h *History) MaxDeviation(subject FRUIndex, from, to int64, f Filter) float64 {
 	max := 0.0
-	for _, s := range h.Window(subject, from, to, f) {
-		if d := float64(s.Deviation); d > max {
-			max = d
+	for _, s := range h.bySubject[subject] {
+		if s.Granule > to {
+			break
+		}
+		if s.Granule >= from && (f == nil || f(s)) {
+			if d := float64(s.Deviation); d > max {
+				max = d
+			}
 		}
 	}
 	return max

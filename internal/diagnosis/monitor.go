@@ -1,8 +1,6 @@
 package diagnosis
 
 import (
-	"sort"
-
 	"decos/internal/component"
 	"decos/internal/sim"
 	"decos/internal/tt"
@@ -29,7 +27,10 @@ type Monitor struct {
 	net  *vnet.Network
 	self FRUIndex
 
-	acc map[accKey]*accVal
+	acc map[accKey]accVal
+	// flush scratch, reused across rounds.
+	keys   []accKey
+	encBuf []byte
 
 	ports  []*portTracker
 	voters []*voterTracker
@@ -102,14 +103,11 @@ func (m *Monitor) observe(k Kind, subject FRUIndex, ch vnet.ChannelID, count int
 	}
 	key := accKey{kind: k, subject: subject, channel: ch}
 	v := m.acc[key]
-	if v == nil {
-		v = &accVal{}
-		m.acc[key] = v
-	}
 	v.count += count
 	if dev > v.dev {
 		v.dev = dev
 	}
+	m.acc[key] = v
 }
 
 // onSlot ingests the frame status this component observed for one slot.
@@ -258,20 +256,17 @@ func (m *Monitor) flush(round int64, now sim.Time) {
 	if len(m.acc) == 0 {
 		return
 	}
-	keys := make([]accKey, 0, len(m.acc))
+	keys := m.keys[:0]
 	for k := range m.acc {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.kind != b.kind {
-			return a.kind < b.kind
+	// Insertion sort into deterministic (kind, subject, channel) order; the
+	// per-round key count is small and this avoids sort.Slice's closure.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && accKeyLess(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
 		}
-		if a.subject != b.subject {
-			return a.subject < b.subject
-		}
-		return a.channel < b.channel
-	})
+	}
 	for _, k := range keys {
 		v := m.acc[k]
 		count := v.count
@@ -288,13 +283,27 @@ func (m *Monitor) flush(round int64, now sim.Time) {
 			Count:     uint16(count),
 			Deviation: float32(v.dev),
 		}
-		m.net.Send(m.Chan, s.Encode(), now)
+		// The network copies the payload on Send, so one scratch buffer
+		// serves every record.
+		m.encBuf = s.appendWire(m.encBuf[:0])
+		m.net.Send(m.Chan, m.encBuf, now)
 		m.SymptomsSent++
 		if m.KeepLog {
 			m.LocalLog = append(m.LocalLog, s)
 		}
 	}
-	m.acc = make(map[accKey]*accVal)
+	m.keys = keys[:0]
+	clear(m.acc)
+}
+
+func accKeyLess(a, b accKey) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.subject != b.subject {
+		return a.subject < b.subject
+	}
+	return a.channel < b.channel
 }
 
 func abs(v float64) float64 {

@@ -43,6 +43,21 @@ type EvalContext struct {
 	// Decided holds the class already concluded for a FRU this epoch
 	// (populated as the suite evaluates, in priority order).
 	Decided map[FRUIndex]core.FaultClass
+
+	// Scratch reused by the ONAs across epochs (the assessor keeps one
+	// context alive); valid only within a single Evaluate call.
+	granArena   []int64
+	hitFRUs     []FRUIndex
+	hitOffs     [][2]int
+	obsScratch  []FRUIndex
+	rxPairs     []rxPair
+	sickScratch []FRUIndex
+}
+
+// rxPair records a subject whose omissions were seen by exactly one
+// observer (ConnectorRxONA evidence).
+type rxPair struct {
+	observer, subject FRUIndex
 }
 
 func (c *EvalContext) windowStart() int64 {
@@ -53,12 +68,96 @@ func (c *EvalContext) windowStart() int64 {
 	return s
 }
 
+// activeGranuleCount counts the subject's distinct matching granules in the
+// window without materializing the list (History keeps each subject's
+// symptoms granule-sorted).
+func (c *EvalContext) activeGranuleCount(subject FRUIndex, from, to int64, f Filter) int {
+	n, last := 0, int64(-1)
+	for _, s := range c.Hist.list(subject) {
+		if s.Granule > to {
+			break
+		}
+		if s.Granule < from || (f != nil && !f(s)) {
+			continue
+		}
+		if n == 0 || s.Granule != last {
+			n++
+			last = s.Granule
+		}
+	}
+	return n
+}
+
+// appendActiveGranules appends the subject's distinct matching granules
+// (ascending) to dst and returns the extended slice.
+func (c *EvalContext) appendActiveGranules(dst []int64, subject FRUIndex, from, to int64, f Filter) []int64 {
+	start := len(dst)
+	for _, s := range c.Hist.list(subject) {
+		if s.Granule > to {
+			break
+		}
+		if s.Granule < from || (f != nil && !f(s)) {
+			continue
+		}
+		if len(dst) == start || dst[len(dst)-1] != s.Granule {
+			dst = append(dst, s.Granule)
+		}
+	}
+	return dst
+}
+
+// observerStats returns the number of distinct observers reporting matching
+// symptoms for the subject and, when there is exactly one, that observer
+// (NoFRU otherwise).
+func (c *EvalContext) observerStats(subject FRUIndex, from, to int64, f Filter) (int, FRUIndex) {
+	seen := c.obsScratch[:0]
+	for _, s := range c.Hist.list(subject) {
+		if s.Granule > to {
+			break
+		}
+		if s.Granule < from || (f != nil && !f(s)) {
+			continue
+		}
+		dup := false
+		for _, o := range seen {
+			if o == s.Observer {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, s.Observer)
+		}
+	}
+	c.obsScratch = seen[:0]
+	if len(seen) == 1 {
+		return 1, seen[0]
+	}
+	return len(seen), NoFRU
+}
+
 var frameLevel = KindIn(SymOmission, SymCorruption, SymTiming)
 
 // valueViolation matches hard value/time-domain violations of a job's port
 // spec. SymDeviation is deliberately excluded: a value drifting toward the
 // spec boundary is a wearout corroborator, not evidence of a faulty job.
 var valueViolation = KindIn(SymValue, SymStale, SymStuck, SymReplica)
+
+// Filters used inside per-FRU loops, hoisted to package scope: KindIn
+// builds a closure, and the ONAs would otherwise rebuild one per FRU per
+// epoch on the assessment hot path.
+var (
+	omissionOnly     = KindIn(SymOmission)
+	timingOnly       = KindIn(SymTiming)
+	omissionOrTiming = KindIn(SymOmission, SymTiming)
+	corruptionOnly   = KindIn(SymCorruption)
+	devOrValue       = KindIn(SymDeviation, SymValue)
+	hardValue        = KindIn(SymValue, SymStale, SymStuck)
+	internalOnly     = KindIn(SymInternal)
+	stuckOnly        = KindIn(SymStuck)
+	valueOnly        = KindIn(SymValue)
+	trustValueKinds  = KindIn(SymValue, SymStale, SymStuck, SymReplica, SymOverflow)
+)
 
 // ---------------------------------------------------------------------------
 
@@ -74,33 +173,38 @@ func (MassiveTransientONA) Name() string { return "massive-transient" }
 // Evaluate implements ONA.
 func (o MassiveTransientONA) Evaluate(ctx *EvalContext) []Finding {
 	from := ctx.windowStart()
-	type hit struct {
-		fru      FRUIndex
-		granules []int64
-	}
-	var hits []hit
 	multiBit := func(s Symptom) bool {
 		return s.Kind == SymCorruption && float64(s.Deviation) >= ctx.Opts.MultiBitThreshold
 	}
+	// Per-FRU granule lists live in one shared arena addressed by offsets
+	// (the arena may reallocate while growing; subslices would go stale).
+	arena := ctx.granArena[:0]
+	frus := ctx.hitFRUs[:0]
+	offs := ctx.hitOffs[:0]
 	for _, hw := range ctx.Reg.HardwareFRUs() {
-		gs := ctx.Hist.ActiveGranules(hw, from, ctx.Granule, multiBit)
-		if len(gs) > 0 {
-			hits = append(hits, hit{fru: hw, granules: gs})
+		start := len(arena)
+		arena = ctx.appendActiveGranules(arena, hw, from, ctx.Granule, multiBit)
+		if len(arena) > start {
+			frus = append(frus, hw)
+			offs = append(offs, [2]int{start, len(arena)})
 		}
 	}
-	if len(hits) < 2 {
+	ctx.granArena, ctx.hitFRUs, ctx.hitOffs = arena, frus, offs
+	if len(frus) < 2 {
 		return nil
 	}
 	// Pairwise: simultaneous (within BurstGranules) and proximate.
 	affected := map[FRUIndex]bool{}
-	for i := 0; i < len(hits); i++ {
-		for j := i + 1; j < len(hits); j++ {
-			if ctx.Reg.Distance(hits[i].fru, hits[j].fru) > ctx.Opts.ProximityRadius {
+	for i := 0; i < len(frus); i++ {
+		for j := i + 1; j < len(frus); j++ {
+			if ctx.Reg.Distance(frus[i], frus[j]) > ctx.Opts.ProximityRadius {
 				continue
 			}
-			if granulesOverlap(hits[i].granules, hits[j].granules, ctx.Opts.BurstGranules) {
-				affected[hits[i].fru] = true
-				affected[hits[j].fru] = true
+			gi := arena[offs[i][0]:offs[i][1]]
+			gj := arena[offs[j][0]:offs[j][1]]
+			if granulesOverlap(gi, gj, ctx.Opts.BurstGranules) {
+				affected[frus[i]] = true
+				affected[frus[j]] = true
 			}
 		}
 	}
@@ -165,19 +269,18 @@ func (o PermanentONA) Evaluate(ctx *EvalContext) []Finding {
 		if ctx.Explained[hw] {
 			continue
 		}
-		omit := ctx.Hist.ActiveGranules(hw, from, ctx.Granule, KindIn(SymOmission))
-		timing := ctx.Hist.ActiveGranules(hw, from, ctx.Granule, KindIn(SymTiming))
-		gs := omit
+		omit := ctx.activeGranuleCount(hw, from, ctx.Granule, omissionOnly)
+		timing := ctx.activeGranuleCount(hw, from, ctx.Granule, timingOnly)
+		n := omit
 		pattern := "permanent-silence"
-		if len(timing) > len(omit) {
-			gs = timing
+		if timing > omit {
+			n = timing
 			pattern = "sync-loss"
 		}
-		if float64(len(gs)) < ctx.Opts.PermanentDuty*float64(span) {
+		if float64(n) < ctx.Opts.PermanentDuty*float64(span) {
 			continue
 		}
-		obs := ctx.Hist.Observers(hw, from, ctx.Granule, KindIn(SymOmission, SymTiming))
-		if len(obs) < 2 {
+		if obs, _ := ctx.observerStats(hw, from, ctx.Granule, omissionOrTiming); obs < 2 {
 			continue
 		}
 		out = append(out, Finding{
@@ -213,16 +316,16 @@ func (o WearoutONA) Evaluate(ctx *EvalContext) []Finding {
 		if ctx.Explained[hw] {
 			continue
 		}
-		early := len(ctx.Hist.ActiveGranules(hw, from, mid, KindIn(SymCorruption)))
-		late := len(ctx.Hist.ActiveGranules(hw, mid+1, ctx.Granule, KindIn(SymCorruption)))
+		early := ctx.activeGranuleCount(hw, from, mid, corruptionOnly)
+		late := ctx.activeGranuleCount(hw, mid+1, ctx.Granule, corruptionOnly)
 		if early < 1 || late < 4 || float64(late) < ctx.Opts.RiseFactor*float64(early) {
 			continue
 		}
 		conf := 0.8
 		// Deviation trend of hosted jobs corroborates.
 		for _, sw := range ctx.Reg.JobsOn(hw) {
-			dEarly := ctx.Hist.MaxDeviation(sw, from, mid, KindIn(SymDeviation, SymValue))
-			dLate := ctx.Hist.MaxDeviation(sw, mid+1, ctx.Granule, KindIn(SymDeviation, SymValue))
+			dEarly := ctx.Hist.MaxDeviation(sw, from, mid, devOrValue)
+			dLate := ctx.Hist.MaxDeviation(sw, mid+1, ctx.Granule, devOrValue)
 			if dLate > dEarly && dLate > 0 {
 				conf = 0.9
 				break
@@ -260,8 +363,7 @@ func (o RecurrentInternalONA) Evaluate(ctx *EvalContext) []Finding {
 		if ctx.Explained[hw] || !ctx.Alpha.Exceeded(hw) {
 			continue
 		}
-		gs := ctx.Hist.ActiveGranules(hw, from, ctx.Granule, KindIn(SymCorruption))
-		if len(gs) < ctx.Opts.MinRecurrentGranules {
+		if ctx.activeGranuleCount(hw, from, ctx.Granule, corruptionOnly) < ctx.Opts.MinRecurrentGranules {
 			continue
 		}
 		out = append(out, Finding{
@@ -290,24 +392,38 @@ func (ConnectorRxONA) Name() string { return "connector-rx" }
 // Evaluate implements ONA.
 func (o ConnectorRxONA) Evaluate(ctx *EvalContext) []Finding {
 	from := ctx.windowStart()
-	// For every subject, find the observers of its omissions.
-	soleObserver := map[FRUIndex][]FRUIndex{} // observer -> subjects seen only by it
+	// For every subject, find the observers of its omissions. Pairs are
+	// gathered into reusable scratch; a subject list is materialized only
+	// when an actual finding emits (rare).
+	pairs := ctx.rxPairs[:0]
 	for _, hw := range ctx.Reg.HardwareFRUs() {
-		obs := ctx.Hist.Observers(hw, from, ctx.Granule, KindIn(SymOmission))
-		if len(obs) != 1 {
+		n, sole := ctx.observerStats(hw, from, ctx.Granule, omissionOnly)
+		if n != 1 {
 			continue
 		}
 		// A single stray omission is not connector evidence.
-		if ctx.Hist.Count(hw, from, ctx.Granule, KindIn(SymOmission)) < 2 {
+		if ctx.Hist.Count(hw, from, ctx.Granule, omissionOnly) < 2 {
 			continue
 		}
-		soleObserver[obs[0]] = append(soleObserver[obs[0]], hw)
+		pairs = append(pairs, rxPair{observer: sole, subject: hw})
 	}
+	ctx.rxPairs = pairs
 	var out []Finding
 	for _, hw := range ctx.Reg.HardwareFRUs() {
-		subjects := soleObserver[hw]
-		if len(subjects) < 2 || ctx.Explained[hw] {
+		n := 0
+		for _, p := range pairs {
+			if p.observer == hw {
+				n++
+			}
+		}
+		if n < 2 || ctx.Explained[hw] {
 			continue
+		}
+		subjects := make([]FRUIndex, 0, n)
+		for _, p := range pairs {
+			if p.observer == hw {
+				subjects = append(subjects, p.subject)
+			}
 		}
 		out = append(out, Finding{
 			Subject:     hw,
@@ -340,15 +456,14 @@ func (o ConnectorTxONA) Evaluate(ctx *EvalContext) []Finding {
 		if ctx.Explained[hw] || !ctx.Alpha.Exceeded(hw) {
 			continue
 		}
-		gs := ctx.Hist.ActiveGranules(hw, from, ctx.Granule, KindIn(SymOmission))
-		if len(gs) < ctx.Opts.MinRecurrentGranules {
+		gs := ctx.activeGranuleCount(hw, from, ctx.Granule, omissionOnly)
+		if gs < ctx.Opts.MinRecurrentGranules {
 			continue
 		}
-		if float64(len(gs)) >= ctx.Opts.PermanentDuty*float64(span) {
+		if float64(gs) >= ctx.Opts.PermanentDuty*float64(span) {
 			continue // continuous loss is the permanent pattern
 		}
-		obs := ctx.Hist.Observers(hw, from, ctx.Granule, KindIn(SymOmission))
-		if len(obs) < 2 {
+		if obs, _ := ctx.observerStats(hw, from, ctx.Granule, omissionOnly); obs < 2 {
 			continue
 		}
 		out = append(out, Finding{
@@ -415,15 +530,20 @@ func (o CorrelatedJobsONA) Evaluate(ctx *EvalContext) []Finding {
 		if ctx.Explained[hw] {
 			continue
 		}
-		var sick []FRUIndex
-		dases := map[string]bool{}
+		sick := ctx.sickScratch[:0]
+		firstDAS, multiDAS := "", false
 		for _, sw := range ctx.Reg.JobsOn(hw) {
 			if ctx.Hist.Count(sw, from, ctx.Granule, valueViolation) > 0 {
+				if das := ctx.Reg.DASOf(sw); len(sick) == 0 {
+					firstDAS = das
+				} else if das != firstDAS {
+					multiDAS = true
+				}
 				sick = append(sick, sw)
-				dases[ctx.Reg.DASOf(sw)] = true
 			}
 		}
-		if len(sick) < 2 || len(dases) < 2 {
+		ctx.sickScratch = sick[:0]
+		if len(sick) < 2 || !multiDAS {
 			continue
 		}
 		out = append(out, Finding{
@@ -432,7 +552,8 @@ func (o CorrelatedJobsONA) Evaluate(ctx *EvalContext) []Finding {
 			Persistence: core.Intermittent,
 			Pattern:     "correlated-jobs",
 			Confidence:  0.85,
-			Explains:    sick,
+			// Copy out of the scratch: the finding outlives this loop.
+			Explains: append([]FRUIndex(nil), sick...),
 		})
 	}
 	return out
@@ -456,13 +577,18 @@ func (o ConfigurationONA) Evaluate(ctx *EvalContext) []Finding {
 		if ctx.Explained[sw] {
 			continue
 		}
-		over := ctx.Hist.Window(sw, from, ctx.Granule, KindIn(SymOverflow))
 		total := 0
 		producersClean := true
-		for _, s := range over {
+		for _, s := range ctx.Hist.list(sw) {
+			if s.Granule > ctx.Granule {
+				break
+			}
+			if s.Granule < from || s.Kind != SymOverflow {
+				continue
+			}
 			total += int(s.Count)
 			if meta, ok := ctx.Reg.Channel(s.Channel); ok {
-				if ctx.Hist.Count(meta.ProducerJob, from, ctx.Granule, KindIn(SymValue, SymStale, SymStuck)) > 0 {
+				if ctx.Hist.Count(meta.ProducerJob, from, ctx.Granule, hardValue) > 0 {
 					producersClean = false
 				}
 			}
@@ -542,7 +668,7 @@ func (o JobInherentONA) Evaluate(ctx *EvalContext) []Finding {
 		pattern := "job-inherent"
 		confidence := 0.8
 		if ctx.Opts.JobInternalAssertions {
-			if ctx.Hist.Count(sw, from, ctx.Granule, KindIn(SymInternal)) > 0 {
+			if ctx.Hist.Count(sw, from, ctx.Granule, internalOnly) > 0 {
 				class = core.JobInherentSensor
 				pattern = "job-inherent-sensor/internal"
 			} else {
@@ -550,8 +676,8 @@ func (o JobInherentONA) Evaluate(ctx *EvalContext) []Finding {
 				pattern = "job-inherent-software/internal"
 			}
 			confidence = 0.9
-		} else if ctx.Hist.Count(sw, from, ctx.Granule, KindIn(SymStuck)) > 0 &&
-			ctx.Hist.Count(sw, from, ctx.Granule, KindIn(SymValue)) == 0 {
+		} else if ctx.Hist.Count(sw, from, ctx.Granule, stuckOnly) > 0 &&
+			ctx.Hist.Count(sw, from, ctx.Granule, valueOnly) == 0 {
 			class = core.JobInherentSensor
 			pattern = "job-inherent-sensor"
 		}

@@ -48,6 +48,13 @@ type Registry struct {
 	compPos map[FRUIndex][2]float64
 	channel map[vnet.ChannelID]ChannelMeta
 	node    map[FRUIndex]tt.NodeID // hardware FRU -> node id
+
+	// Cached index lists. The registry is immutable after construction and
+	// these are queried on every assessment epoch; callers must not modify
+	// the returned slices.
+	hw     []FRUIndex
+	sw     []FRUIndex
+	jobsOn map[FRUIndex][]FRUIndex
 }
 
 // NewRegistry builds the registry for a cluster: one hardware FRU per
@@ -91,6 +98,16 @@ func NewRegistry(cl *component.Cluster) *Registry {
 			ProducerJob:  r.index[jobFRU],
 			ProducerComp: r.index[core.HardwareFRU(int(j.Comp.ID))],
 			DAS:          j.DAS.Name,
+		}
+	}
+	r.jobsOn = make(map[FRUIndex][]FRUIndex)
+	for i, f := range r.frus {
+		idx := FRUIndex(i)
+		if f.IsHardware() {
+			r.hw = append(r.hw, idx)
+		} else {
+			r.sw = append(r.sw, idx)
+			r.jobsOn[r.hwOf[idx]] = append(r.jobsOn[r.hwOf[idx]], idx)
 		}
 	}
 	return r
@@ -141,17 +158,9 @@ func (r *Registry) IsHardware(i FRUIndex) bool {
 	return int(i) < len(r.frus) && r.frus[i].IsHardware()
 }
 
-// JobsOn returns the software FRU indices hosted on hardware FRU hw.
-func (r *Registry) JobsOn(hw FRUIndex) []FRUIndex {
-	var out []FRUIndex
-	for i := range r.frus {
-		idx := FRUIndex(i)
-		if h, ok := r.hwOf[idx]; ok && h == hw {
-			out = append(out, idx)
-		}
-	}
-	return out
-}
+// JobsOn returns the software FRU indices hosted on hardware FRU hw. The
+// returned slice is shared registry state; callers must not modify it.
+func (r *Registry) JobsOn(hw FRUIndex) []FRUIndex { return r.jobsOn[hw] }
 
 // Position returns the coordinates of a hardware FRU.
 func (r *Registry) Position(i FRUIndex) ([2]float64, bool) {
@@ -187,24 +196,10 @@ func (r *Registry) Channel(ch vnet.ChannelID) (ChannelMeta, bool) {
 	return m, ok
 }
 
-// HardwareFRUs returns all hardware FRU indices in node order.
-func (r *Registry) HardwareFRUs() []FRUIndex {
-	var out []FRUIndex
-	for i, f := range r.frus {
-		if f.IsHardware() {
-			out = append(out, FRUIndex(i))
-		}
-	}
-	return out
-}
+// HardwareFRUs returns all hardware FRU indices in node order. The returned
+// slice is shared registry state; callers must not modify it.
+func (r *Registry) HardwareFRUs() []FRUIndex { return r.hw }
 
-// SoftwareFRUs returns all software FRU indices.
-func (r *Registry) SoftwareFRUs() []FRUIndex {
-	var out []FRUIndex
-	for i, f := range r.frus {
-		if !f.IsHardware() {
-			out = append(out, FRUIndex(i))
-		}
-	}
-	return out
-}
+// SoftwareFRUs returns all software FRU indices. The returned slice is
+// shared registry state; callers must not modify it.
+func (r *Registry) SoftwareFRUs() []FRUIndex { return r.sw }

@@ -123,7 +123,16 @@ const symptomWireBytes = 1 + 2 + 2 + 2 + 8 + 2 + 4
 // Encode serializes the symptom for transmission on the diagnostic
 // network.
 func (s Symptom) Encode() []byte {
-	b := make([]byte, symptomWireBytes)
+	return s.appendWire(nil)
+}
+
+// appendWire appends the wire encoding to dst and returns the extended
+// slice. Monitors pass a per-monitor scratch buffer: the network copies the
+// payload on Send, so the buffer is immediately reusable.
+func (s Symptom) appendWire(dst []byte) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, symptomWireBytes)...)
+	b := dst[n:]
 	b[0] = byte(s.Kind)
 	binary.BigEndian.PutUint16(b[1:3], uint16(s.Observer))
 	binary.BigEndian.PutUint16(b[3:5], uint16(s.Subject))
@@ -131,7 +140,7 @@ func (s Symptom) Encode() []byte {
 	binary.BigEndian.PutUint64(b[7:15], uint64(s.Granule))
 	binary.BigEndian.PutUint16(b[15:17], s.Count)
 	binary.BigEndian.PutUint32(b[17:21], math.Float32bits(s.Deviation))
-	return b
+	return dst
 }
 
 // DecodeSymptom parses a symptom record; ok=false on malformed input.

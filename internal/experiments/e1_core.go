@@ -36,7 +36,7 @@ func E1CoreServices(seed uint64) *Result {
 	// C1: record slot firing offsets.
 	maxJitter := int64(0)
 	slotCount := 0
-	cl.Bus.Observe(func(f *tt.Frame, _ map[tt.NodeID]tt.FrameStatus) {
+	cl.Bus.Observe(func(f *tt.Frame, _ []tt.FrameStatus) {
 		want := cfg.SlotStart(f.Round, f.Slot)
 		if d := f.At.Micros() - want.Micros(); d != 0 {
 			if d < 0 {
@@ -65,7 +65,7 @@ func E1CoreServices(seed uint64) *Result {
 	cl.Bus.SetBabbling(3, true)
 	corrupted := 0
 	phase2 := true
-	cl.Bus.Observe(func(f *tt.Frame, _ map[tt.NodeID]tt.FrameStatus) {
+	cl.Bus.Observe(func(f *tt.Frame, _ []tt.FrameStatus) {
 		if phase2 && f.Sender != 3 && f.Status.Failed() {
 			corrupted++
 		}

@@ -72,7 +72,7 @@ type statusCounter map[tt.NodeID]map[tt.FrameStatus]int
 
 func observe(f *fixture) statusCounter {
 	sc := statusCounter{}
-	f.cl.Bus.Observe(func(fr *tt.Frame, per map[tt.NodeID]tt.FrameStatus) {
+	f.cl.Bus.Observe(func(fr *tt.Frame, _ []tt.FrameStatus) {
 		if sc[fr.Sender] == nil {
 			sc[fr.Sender] = map[tt.FrameStatus]int{}
 		}

@@ -392,6 +392,13 @@ func normalizeMix(mix map[FaultKind]float64) ([]FaultKind, []float64) {
 			kinds = append(kinds, k)
 		}
 	}
+	if len(kinds) == 0 {
+		// A mix without any positive weight (empty map, or all entries
+		// zero/negative) would leave sample() choosing from nothing and
+		// index kinds[-1]; treat it like a nil Mix and fall back to the
+		// default field distribution.
+		return normalizeMix(DefaultMix())
+	}
 	total := 0.0
 	for _, k := range kinds {
 		total += mix[k]

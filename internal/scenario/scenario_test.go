@@ -155,7 +155,7 @@ func TestCampaignParallelDeterminism(t *testing.T) {
 	seq := base
 	seq.Workers = 1
 	par := base
-	par.Workers = 4
+	par.Workers = 8
 	a, b := seq.Run(), par.Run()
 	if a.DECOS.Total != b.DECOS.Total ||
 		a.DECOS.CorrectClass != b.DECOS.CorrectClass ||
@@ -169,6 +169,33 @@ func TestCampaignParallelDeterminism(t *testing.T) {
 			a.DECOS.Outcomes[i].Action != b.DECOS.Outcomes[i].Action {
 			t.Fatalf("outcome %d diverged", i)
 		}
+	}
+}
+
+func TestNormalizeMixDegenerate(t *testing.T) {
+	// A mix without any positive weight used to make sample() index
+	// kinds[-1]; it must instead fall back to the default distribution.
+	defKinds, defWeights := normalizeMix(DefaultMix())
+	for name, mix := range map[string]map[FaultKind]float64{
+		"empty":       {},
+		"all-zero":    {KindEMI: 0, KindSEU: 0},
+		"negative":    {KindEMI: -1},
+		"nil-entries": {KindWearout: 0},
+	} {
+		kinds, weights := normalizeMix(mix)
+		if len(kinds) != len(defKinds) || len(weights) != len(defWeights) {
+			t.Fatalf("%s: fallback mismatch: %d kinds, want %d", name, len(kinds), len(defKinds))
+		}
+		for i := range kinds {
+			if kinds[i] != defKinds[i] || weights[i] != defWeights[i] {
+				t.Fatalf("%s: fallback diverges from DefaultMix at %d", name, i)
+			}
+		}
+	}
+	// End-to-end: a campaign configured with a degenerate mix must run.
+	c := Campaign{Vehicles: 1, Rounds: 600, Seed: 3, Mix: map[FaultKind]float64{KindEMI: 0}}
+	if res := c.Run(); res.DECOS.Total+res.FaultFreeCount != 1 {
+		t.Fatalf("vehicle unaccounted: %+v", res)
 	}
 }
 

@@ -11,10 +11,18 @@ type Event struct {
 	At       Time
 	Name     string // for tracing and error messages
 	Fire     func()
+	fn       BoundFn // closure-free callback (AtFunc path)
+	a0, a1   int64   // pre-bound arguments for fn
 	seq      uint64
 	index    int // heap index, -1 when not queued
 	canceled bool
+	pooled   bool // recycled onto the free list after firing
 }
+
+// BoundFn is the closure-free callback form used by AtFunc: a pre-bound
+// function plus two integer arguments, so hot schedulers (the TDMA slot
+// chain) avoid allocating a fresh closure per event.
+type BoundFn func(a0, a1 int64)
 
 // Canceled reports whether the event was canceled before firing.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -61,11 +69,22 @@ type Scheduler struct {
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+
+	// deadline is the horizon of the active Run/RunUntil call; InlineTo
+	// refuses to advance the clock past it so inlined work never overruns
+	// the caller's bound.
+	deadline Time
+
+	// free is the pool of recycled AtFunc events.
+	free []*Event
 }
+
+// maxTime is the open-ended deadline used outside RunUntil.
+const maxTime = Time(1<<63 - 1)
 
 // NewScheduler returns a scheduler positioned at time zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{deadline: maxTime}
 }
 
 // Now returns the current simulated time.
@@ -94,6 +113,47 @@ func (s *Scheduler) After(d Duration, name string, fire func()) *Event {
 	return s.At(s.now.Add(d), name, fire)
 }
 
+// AtFunc schedules a closure-free callback: fn(a0, a1) runs at time at. The
+// backing Event is drawn from a free list and recycled immediately after
+// firing, so — unlike At — no handle is returned and the event cannot be
+// canceled. Use it for self-rescheduling hot paths.
+func (s *Scheduler) AtFunc(at Time, name string, fn BoundFn, a0, a1 int64) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, at, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		*e = Event{pooled: true}
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.At, e.Name, e.fn, e.a0, e.a1, e.seq = at, name, fn, a0, a1, s.nextSeq
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+}
+
+// InlineTo advances the clock directly to t without going through the event
+// queue — the fast path for a hot self-rescheduling callback that would
+// otherwise push and immediately pop its own next event. It succeeds only
+// when doing so is indistinguishable from scheduling and firing: no pending
+// event is due at or before t, t does not overrun the active Run/RunUntil
+// deadline, and Stop has not been called. On success the clock moves to t,
+// the fired counter advances as if an event ran, and the caller proceeds
+// inline; on failure the caller must schedule normally.
+func (s *Scheduler) InlineTo(t Time) bool {
+	if s.stopped || t < s.now || t > s.deadline {
+		return false
+	}
+	if len(s.queue) > 0 && s.queue[0].At <= t {
+		return false
+	}
+	s.now = t
+	s.fired++
+	return true
+}
+
 // Cancel removes a pending event. Canceling an already-fired or already-
 // canceled event is a no-op.
 func (s *Scheduler) Cancel(e *Event) {
@@ -120,7 +180,15 @@ func (s *Scheduler) Step() bool {
 	e := heap.Pop(&s.queue).(*Event)
 	s.now = e.At
 	s.fired++
-	e.Fire()
+	if e.Fire != nil {
+		e.Fire()
+	} else if e.fn != nil {
+		e.fn(e.a0, e.a1)
+	}
+	if e.pooled {
+		e.Fire, e.fn, e.Name = nil, nil, ""
+		s.free = append(s.free, e)
+	}
 	return true
 }
 
@@ -129,6 +197,8 @@ func (s *Scheduler) Step() bool {
 // last fired event and deadline.
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
+	s.deadline = deadline
+	defer func() { s.deadline = maxTime }()
 	for !s.stopped && len(s.queue) > 0 && s.queue[0].At <= deadline {
 		s.Step()
 	}
@@ -140,6 +210,7 @@ func (s *Scheduler) RunUntil(deadline Time) {
 // Run fires events until the queue is empty or Stop is called.
 func (s *Scheduler) Run() {
 	s.stopped = false
+	s.deadline = maxTime
 	for !s.stopped && s.Step() {
 	}
 }

@@ -85,7 +85,7 @@ type Recorder struct {
 func Attach(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Injector, w io.Writer, opts Options) *Recorder {
 	r := &Recorder{enc: json.NewEncoder(w), opts: opts}
 
-	cl.Bus.Observe(func(f *tt.Frame, per map[tt.NodeID]tt.FrameStatus) {
+	cl.Bus.Observe(func(f *tt.Frame, _ []tt.FrameStatus) {
 		if !opts.AllFrames && !f.Status.Failed() {
 			return
 		}

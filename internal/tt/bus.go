@@ -34,8 +34,21 @@ type TxFault func(f *Frame)
 type RxFault func(receiver NodeID, f *Frame, status FrameStatus) FrameStatus
 
 // SlotObserver is called once per slot after delivery, with the per-receiver
-// statuses. The diagnostic layer and tests attach here.
-type SlotObserver func(f *Frame, perReceiver map[NodeID]FrameStatus)
+// statuses indexed by NodeID (entries for unattached ids are meaningless).
+// The diagnostic layer and tests attach here. Both the frame and the status
+// slice are reused across slots: they are valid only for the duration of the
+// callback and must be copied if retained.
+type SlotObserver func(f *Frame, perReceiver []FrameStatus)
+
+type txHook struct {
+	id int
+	fn TxFault
+}
+
+type rxHook struct {
+	id int
+	fn RxFault
+}
 
 // Bus is the shared TDMA broadcast medium of one cluster, together with the
 // slot guardian and the membership service.
@@ -47,12 +60,18 @@ type Bus struct {
 	// is out of sync produces timing-failed frames until readmitted.
 	Clocks *clock.Cluster
 
-	nodes      map[NodeID]Controller
-	nodeOrder  []NodeID
-	alive      map[NodeID]bool
-	babbling   map[NodeID]bool
-	txFaults   map[int]TxFault
-	rxFaults   map[int]RxFault
+	// Dense per-node tables indexed by NodeID; nodes[n] == nil means
+	// unattached.
+	nodes      []Controller
+	alive      []bool
+	babbling   []bool
+	membership []*Membership
+
+	nodeOrder []NodeID // attached nodes, ascending
+	babblers  int      // number of nodes currently babbling
+
+	txFaults   []txHook // insertion (== id) order
+	rxFaults   []rxHook
 	observers  []SlotObserver
 	roundHooks []func(round int64)
 	nextHookID int
@@ -66,7 +85,10 @@ type Bus struct {
 	// that the guardian suppressed.
 	GuardianBlocks int
 
-	membership map[NodeID]*Membership
+	// Per-slot scratch, reused every slot (see SlotObserver).
+	frame  Frame
+	per    []FrameStatus
+	slotFn sim.BoundFn
 
 	running bool
 }
@@ -77,17 +99,29 @@ func NewBus(cfg Config, sched *sim.Scheduler) *Bus {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Bus{
+	b := &Bus{
 		Cfg:             cfg,
 		Sched:           sched,
-		nodes:           make(map[NodeID]Controller),
-		alive:           make(map[NodeID]bool),
-		babbling:        make(map[NodeID]bool),
-		txFaults:        make(map[int]TxFault),
-		rxFaults:        make(map[int]RxFault),
 		GuardianEnabled: true,
-		membership:      make(map[NodeID]*Membership),
 	}
+	b.slotFn = func(round, slot int64) { b.fireSlot(round, int(slot)) }
+	return b
+}
+
+// grow extends the dense node tables to cover id n.
+func (b *Bus) grow(n NodeID) {
+	for len(b.nodes) <= int(n) {
+		b.nodes = append(b.nodes, nil)
+		b.alive = append(b.alive, false)
+		b.babbling = append(b.babbling, false)
+		b.membership = append(b.membership, nil)
+		b.per = append(b.per, FrameOK)
+	}
+}
+
+// attached reports whether node n has a controller.
+func (b *Bus) attached(n NodeID) bool {
+	return n >= 0 && int(n) < len(b.nodes) && b.nodes[n] != nil
 }
 
 // Attach registers the controller for node n. All nodes must be attached
@@ -96,7 +130,11 @@ func (b *Bus) Attach(n NodeID, c Controller) {
 	if b.running {
 		panic("tt: Attach after Start")
 	}
-	if _, dup := b.nodes[n]; dup {
+	if n < 0 {
+		panic(fmt.Sprintf("tt: invalid node id %d", n))
+	}
+	b.grow(n)
+	if b.nodes[n] != nil {
 		panic(fmt.Sprintf("tt: duplicate controller for node %d", n))
 	}
 	b.nodes[n] = c
@@ -110,23 +148,44 @@ func (b *Bus) Attach(n NodeID, c Controller) {
 
 // SetAlive powers a node on or off. A powered-off node omits all its frames
 // (fail-silent), the failure mode a correct architecture converts arbitrary
-// component failures into at the interface.
-func (b *Bus) SetAlive(n NodeID, alive bool) { b.alive[n] = alive }
+// component failures into at the interface. The node must be attached:
+// powering phantom nodes is always a harness bug, so it panics.
+func (b *Bus) SetAlive(n NodeID, alive bool) {
+	if !b.attached(n) {
+		panic(fmt.Sprintf("tt: SetAlive on unattached node %d", n))
+	}
+	b.alive[n] = alive
+}
 
-// Alive reports whether node n is powered.
-func (b *Bus) Alive(n NodeID) bool { return b.alive[n] }
+// Alive reports whether node n is powered. Unattached ids report false.
+func (b *Bus) Alive(n NodeID) bool {
+	return n >= 0 && int(n) < len(b.alive) && b.alive[n]
+}
 
 // SetBabbling marks a node as a babbling idiot: it attempts to transmit in
 // every slot. With the guardian enabled the attempts are blocked and
 // counted; with it disabled they corrupt the legitimate sender's frame.
-func (b *Bus) SetBabbling(n NodeID, babbling bool) { b.babbling[n] = babbling }
+// Like SetAlive, the node must be attached.
+func (b *Bus) SetBabbling(n NodeID, babbling bool) {
+	if !b.attached(n) {
+		panic(fmt.Sprintf("tt: SetBabbling on unattached node %d", n))
+	}
+	if b.babbling[n] != babbling {
+		if babbling {
+			b.babblers++
+		} else {
+			b.babblers--
+		}
+	}
+	b.babbling[n] = babbling
+}
 
 // AddTxFault installs a sender-side fault hook and returns a handle for
 // removal.
 func (b *Bus) AddTxFault(f TxFault) int {
 	id := b.nextHookID
 	b.nextHookID++
-	b.txFaults[id] = f
+	b.txFaults = append(b.txFaults, txHook{id: id, fn: f})
 	return id
 }
 
@@ -134,15 +193,25 @@ func (b *Bus) AddTxFault(f TxFault) int {
 func (b *Bus) AddRxFault(f RxFault) int {
 	id := b.nextHookID
 	b.nextHookID++
-	b.rxFaults[id] = f
+	b.rxFaults = append(b.rxFaults, rxHook{id: id, fn: f})
 	return id
 }
 
 // RemoveFault uninstalls a fault hook by handle. Unknown handles are
 // ignored.
 func (b *Bus) RemoveFault(id int) {
-	delete(b.txFaults, id)
-	delete(b.rxFaults, id)
+	for i, h := range b.txFaults {
+		if h.id == id {
+			b.txFaults = append(b.txFaults[:i], b.txFaults[i+1:]...)
+			return
+		}
+	}
+	for i, h := range b.rxFaults {
+		if h.id == id {
+			b.rxFaults = append(b.rxFaults[:i], b.rxFaults[i+1:]...)
+			return
+		}
+	}
 }
 
 // Observe installs a slot observer.
@@ -152,8 +221,13 @@ func (b *Bus) Observe(o SlotObserver) { b.observers = append(b.observers, o) }
 // controllers' OnRoundEnd), regardless of node liveness.
 func (b *Bus) OnRound(f func(round int64)) { b.roundHooks = append(b.roundHooks, f) }
 
-// Membership returns node n's membership view.
-func (b *Bus) Membership(n NodeID) *Membership { return b.membership[n] }
+// Membership returns node n's membership view (nil for unattached ids).
+func (b *Bus) Membership(n NodeID) *Membership {
+	if n < 0 || int(n) >= len(b.membership) {
+		return nil
+	}
+	return b.membership[n]
+}
 
 // Round returns the index of the round currently in progress (or about to
 // start).
@@ -166,27 +240,43 @@ func (b *Bus) Start() {
 		panic("tt: Start called twice")
 	}
 	for _, n := range b.Cfg.Nodes() {
-		if _, ok := b.nodes[n]; !ok {
+		if !b.attached(n) {
 			panic(fmt.Sprintf("tt: schedule assigns slots to unattached node %d", n))
 		}
 	}
 	b.running = true
-	b.scheduleSlot(0, 0)
-}
-
-func (b *Bus) scheduleSlot(round int64, slot int) {
-	at := b.Cfg.SlotStart(round, slot)
 	// A static event name: slot scheduling is the simulator's hottest
-	// allocation site and the coordinates are recoverable from the time.
-	b.Sched.At(at, "tt.slot", func() {
-		b.fireSlot(round, slot)
-	})
+	// path and the coordinates are recoverable from the time.
+	b.Sched.AtFunc(b.Cfg.SlotStart(0, 0), "tt.slot", b.slotFn, 0, 0)
 }
 
+// fireSlot runs the slot at (round, slot), then as many consecutive slots as
+// the scheduler lets it run inline: when no foreign event is due before the
+// next slot's start time, going back through the event queue would be a
+// no-op, so the bus advances the clock directly and keeps going.
 func (b *Bus) fireSlot(round int64, slot int) {
+	for {
+		b.runSlot(round, slot)
+		if slot+1 < len(b.Cfg.Slots) {
+			slot++
+		} else {
+			b.endRound(round)
+			round++
+			slot = 0
+		}
+		at := b.Cfg.SlotStart(round, slot)
+		if !b.Sched.InlineTo(at) {
+			b.Sched.AtFunc(at, "tt.slot", b.slotFn, round, int64(slot))
+			return
+		}
+	}
+}
+
+func (b *Bus) runSlot(round int64, slot int) {
 	b.round = round
 	sender := b.Cfg.Slots[slot]
-	f := &Frame{
+	f := &b.frame
+	*f = Frame{
 		Round:  round,
 		Slot:   slot,
 		Sender: sender,
@@ -213,37 +303,35 @@ func (b *Bus) fireSlot(round int64, slot int) {
 	}
 
 	// Babbling idiots attempt to transmit in this (foreign) slot.
-	for _, n := range b.nodeOrder {
-		if !b.babbling[n] || n == sender || !b.alive[n] {
-			continue
-		}
-		if b.GuardianEnabled {
-			b.GuardianBlocks++
-			continue
-		}
-		// Without slot enforcement the medium sees two simultaneous
-		// transmissions: the legitimate frame is destroyed.
-		if f.Status == FrameOK {
-			f.Status = FrameCorrupted
-			f.CorruptBits += 8 * len(f.Payload)
+	if b.babblers > 0 {
+		for _, n := range b.nodeOrder {
+			if !b.babbling[n] || n == sender || !b.alive[n] {
+				continue
+			}
+			if b.GuardianEnabled {
+				b.GuardianBlocks++
+				continue
+			}
+			// Without slot enforcement the medium sees two simultaneous
+			// transmissions: the legitimate frame is destroyed.
+			if f.Status == FrameOK {
+				f.Status = FrameCorrupted
+				f.CorruptBits += 8 * len(f.Payload)
+			}
 		}
 	}
 
 	// Sender-side / medium fault hooks, in insertion order.
-	for id := 0; id < b.nextHookID; id++ {
-		if tf, ok := b.txFaults[id]; ok {
-			tf(f)
-		}
+	for _, h := range b.txFaults {
+		h.fn(f)
 	}
 
 	// Delivery: every attached node observes the slot.
-	per := make(map[NodeID]FrameStatus, len(b.nodeOrder))
+	per := b.per
 	for _, n := range b.nodeOrder {
 		st := f.Status
-		for id := 0; id < b.nextHookID; id++ {
-			if rf, ok := b.rxFaults[id]; ok {
-				st = rf(n, f, st)
-			}
+		for _, h := range b.rxFaults {
+			st = h.fn(n, f, st)
 		}
 		per[n] = st
 		if b.alive[n] {
@@ -255,14 +343,6 @@ func (b *Bus) fireSlot(round int64, slot int) {
 	for _, o := range b.observers {
 		o(f, per)
 	}
-
-	// Advance the schedule.
-	if slot+1 < len(b.Cfg.Slots) {
-		b.scheduleSlot(round, slot+1)
-		return
-	}
-	b.endRound(round)
-	b.scheduleSlot(round+1, 0)
 }
 
 func (b *Bus) endRound(round int64) {

@@ -268,7 +268,7 @@ func TestPayloadTruncatedToConfiguredSize(t *testing.T) {
 	bus.Attach(0, big)
 	bus.Attach(1, small)
 	var got []byte
-	bus.Observe(func(f *Frame, per map[NodeID]FrameStatus) {
+	bus.Observe(func(f *Frame, _ []FrameStatus) {
 		if f.Sender == 0 {
 			got = f.Payload
 		}
@@ -289,7 +289,7 @@ func TestObserverSeesPerReceiverStatus(t *testing.T) {
 		return st
 	})
 	var sawSplit bool
-	bus.Observe(func(f *Frame, per map[NodeID]FrameStatus) {
+	bus.Observe(func(f *Frame, per []FrameStatus) {
 		if f.Sender == 0 && per[1] == FrameCorrupted && per[0] == FrameOK && per[2] == FrameOK {
 			sawSplit = true
 		}
@@ -334,7 +334,7 @@ func TestSlotTimingIsPredictable(t *testing.T) {
 		bus.Attach(NodeID(i), &recController{payload: []byte{1}})
 	}
 	var times []sim.Time
-	bus.Observe(func(f *Frame, _ map[NodeID]FrameStatus) { times = append(times, f.At) })
+	bus.Observe(func(f *Frame, _ []FrameStatus) { times = append(times, f.At) })
 	bus.Start()
 	runRounds(sched, cfg, 2)
 	for i, at := range times {
@@ -343,4 +343,30 @@ func TestSlotTimingIsPredictable(t *testing.T) {
 			t.Fatalf("slot %d fired at %v, want %v", i, at, want)
 		}
 	}
+}
+
+func TestSetAliveUnattachedPanics(t *testing.T) {
+	_, bus, _ := newCluster(t, 2)
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"SetAlive", func() { bus.SetAlive(NodeID(7), false) }},
+		{"SetBabbling", func() { bus.SetBabbling(NodeID(7), true) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on unattached node did not panic", tc.name)
+				}
+			}()
+			tc.call()
+		})
+	}
+	// Attached nodes stay togglable.
+	bus.SetAlive(1, false)
+	bus.SetBabbling(1, true)
+	bus.SetBabbling(1, false)
+	bus.SetAlive(1, true)
 }

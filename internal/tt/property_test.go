@@ -72,7 +72,7 @@ func TestGuardianIsolationProperty(t *testing.T) {
 			}
 		}
 		ok := true
-		bus.Observe(func(fr *Frame, _ map[NodeID]FrameStatus) {
+		bus.Observe(func(fr *Frame, _ []FrameStatus) {
 			// Non-babbling senders' frames must stay intact.
 			if !babbling[fr.Sender] && fr.Status.Failed() {
 				ok = false

@@ -46,11 +46,16 @@ func (p *InPort) Receive() (Message, bool) {
 		return Message{}, false
 	}
 	m := p.queue[0]
-	p.queue = p.queue[1:]
+	// Shift instead of reslicing so the queue's backing array is reused.
+	n := copy(p.queue, p.queue[1:])
+	p.queue[n] = Message{}
+	p.queue = p.queue[:n]
 	return m, true
 }
 
-// Peek returns the newest message without consuming it.
+// Peek returns the newest message without consuming it. On a state port
+// (Overwrite) the payload is only valid until the next delivery; copy it to
+// retain it across rounds.
 func (p *InPort) Peek() (Message, bool) {
 	if len(p.queue) == 0 {
 		return Message{}, false
@@ -68,8 +73,15 @@ func (p *InPort) deliver(m Message, crcValid bool, now sim.Time) {
 		return
 	}
 	// The decoded payload aliases the frame buffer; own it before
-	// retaining (queue and Stats keep references past the slot).
-	m.Payload = append([]byte(nil), m.Payload...)
+	// retaining (queue and Stats keep references past the slot). A state
+	// port recycles the buffer of the value it is about to displace — by
+	// the time this delivery returns, nothing references it (Stats is
+	// repointed below, and Peek'd payloads are documented as transient).
+	var buf []byte
+	if p.Overwrite && len(p.queue) == 1 {
+		buf = p.queue[0].Payload[:0]
+	}
+	m.Payload = append(buf, m.Payload...)
 	if p.Stats.haveSeq && m.Seq != p.Stats.LastSeq+1 && m.Seq > p.Stats.LastSeq {
 		p.Stats.SeqGaps++
 	}

@@ -44,9 +44,16 @@ func (m Message) Float() float64 {
 
 // FloatPayload encodes a float64 as a message payload.
 func FloatPayload(v float64) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint64(b, math.Float64bits(v))
-	return b
+	return AppendFloat(nil, v)
+}
+
+// AppendFloat appends the 8-byte payload encoding of v to dst and returns
+// the extended slice — the allocation-free form of FloatPayload for callers
+// with a scratch buffer.
+func AppendFloat(dst []byte, v float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(dst, b[:]...)
 }
 
 // Wire format of one message inside a VN segment:
@@ -70,18 +77,31 @@ const (
 // length.
 func WireSize(payloadLen int) int { return headerBytes + payloadLen + crcBytes }
 
-// crc16 computes CRC-16/CCITT-FALSE.
-func crc16(data []byte) uint16 {
-	crc := uint16(0xffff)
-	for _, b := range data {
-		crc ^= uint16(b) << 8
-		for i := 0; i < 8; i++ {
+// crcTable is the byte-indexed lookup table for CRC-16/CCITT-FALSE
+// (polynomial 0x1021). Every encoded and decoded message is checksummed,
+// making the CRC the single hottest function of a full simulation;
+// table-driven computation is ~8x faster than bit-at-a-time and produces
+// identical checksums.
+var crcTable = func() (t [256]uint16) {
+	for i := range t {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
 			if crc&0x8000 != 0 {
 				crc = crc<<1 ^ 0x1021
 			} else {
 				crc <<= 1
 			}
 		}
+		t[i] = crc
+	}
+	return
+}()
+
+// crc16 computes CRC-16/CCITT-FALSE.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xffff)
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
 	}
 	return crc
 }

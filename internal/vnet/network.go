@@ -74,6 +74,7 @@ type Endpoint struct {
 	outQueue []Message              // ET pending messages, FIFO
 	outState map[ChannelID]*Message // TT latest value per produced channel
 	ttOrder  []ChannelID            // deterministic packing order
+	freeBufs [][]byte               // recycled ET payload buffers
 
 	// TxOverflows counts messages dropped at the sender because the
 	// outbound queue was full — the encapsulation service refusing to let
@@ -153,16 +154,24 @@ func (n *Network) Channels() []ChannelID {
 // time now. For TT channels the value replaces the published state; for ET
 // channels it is appended to the outbound queue. Send reports whether the
 // message was accepted (false = queue overflow, counted on the endpoint).
+// The payload is copied into endpoint-owned storage, so the caller may reuse
+// its buffer immediately.
 func (n *Network) Send(ch ChannelID, payload []byte, now sim.Time) bool {
 	cs, ok := n.channels[ch]
 	if !ok {
 		panic(fmt.Sprintf("vnet: send on undeclared channel %d", ch))
 	}
 	ep := n.endpoints[cs.producer]
-	m := Message{Channel: ch, Seq: cs.nextSeq, Payload: payload, SentAt: now}
+	seq := cs.nextSeq
 	cs.nextSeq++
 	if n.Kind == TimeTriggered {
-		ep.outState[ch] = &m
+		st := ep.outState[ch]
+		if st == nil {
+			st = &Message{}
+			ep.outState[ch] = st
+		}
+		st.Channel, st.Seq, st.SentAt = ch, seq, now
+		st.Payload = append(st.Payload[:0], payload...)
 		ep.TxMessages++
 		return true
 	}
@@ -170,9 +179,22 @@ func (n *Network) Send(ch ChannelID, payload []byte, now sim.Time) bool {
 		ep.TxOverflows++
 		return false
 	}
+	m := Message{Channel: ch, Seq: seq, SentAt: now}
+	m.Payload = append(ep.takeBuf(), payload...)
 	ep.outQueue = append(ep.outQueue, m)
 	ep.TxMessages++
 	return true
+}
+
+// takeBuf pops a recycled payload buffer (or returns nil, making the append
+// in Send allocate a fresh one).
+func (ep *Endpoint) takeBuf() []byte {
+	if n := len(ep.freeBufs); n > 0 {
+		b := ep.freeBufs[n-1]
+		ep.freeBufs = ep.freeBufs[:n-1]
+		return b
+	}
+	return nil
 }
 
 // packSegment serializes the endpoint's pending traffic into at most
@@ -203,8 +225,9 @@ func (ep *Endpoint) packSegment() []byte {
 		}
 		return seg
 	}
-	for len(ep.outQueue) > 0 {
-		m := ep.outQueue[0]
+	drained := 0
+	for drained < len(ep.outQueue) {
+		m := ep.outQueue[drained]
 		if WireSize(len(m.Payload)) > ep.AllocBytes-len(seg) {
 			break
 		}
@@ -213,7 +236,20 @@ func (ep *Endpoint) packSegment() []byte {
 		if err != nil {
 			panic(err)
 		}
-		ep.outQueue = ep.outQueue[1:]
+		if cap(m.Payload) > 0 {
+			ep.freeBufs = append(ep.freeBufs, m.Payload[:0])
+		}
+		drained++
+	}
+	if drained > 0 {
+		// Shift the remainder down instead of reslicing so the queue's
+		// backing array (and its capacity) is kept across rounds.
+		rest := copy(ep.outQueue, ep.outQueue[drained:])
+		tail := ep.outQueue[rest:]
+		for i := range tail {
+			tail[i] = Message{}
+		}
+		ep.outQueue = ep.outQueue[:rest]
 	}
 	return seg
 }

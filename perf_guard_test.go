@@ -1,0 +1,82 @@
+package decos
+
+import (
+	"testing"
+
+	"decos/internal/diagnosis"
+	"decos/internal/scenario"
+	"decos/internal/sim"
+	"decos/internal/tt"
+)
+
+// Allocation guards for the simulator hot paths. The zero-allocation
+// contract (scratch reuse, event pooling, dense bus state) is what the
+// perf trajectory in BENCH_pr2.json is built on; these tests fail loudly
+// when a change reintroduces per-slot or per-epoch garbage.
+
+// nullController is the cheapest possible TT controller: a fixed frame, no
+// reaction to traffic.
+type nullController struct{ payload []byte }
+
+func (c *nullController) BuildFrame(round int64, slot int) []byte { return c.payload }
+func (c *nullController) OnSlot(f tt.Frame, st tt.FrameStatus)    {}
+func (c *nullController) OnRoundEnd(round int64)                  {}
+
+// TestAllocGuardBusSlot drives a bare 4-node bus and requires at most 2
+// allocations per TDMA slot in steady state (the pooled slot event and the
+// bus scratch make the expected count 0).
+func TestAllocGuardBusSlot(t *testing.T) {
+	sched := sim.NewScheduler()
+	cfg := tt.UniformSchedule(4, 250*sim.Microsecond, 32)
+	bus := tt.NewBus(cfg, sched)
+	for i := 0; i < 4; i++ {
+		bus.Attach(tt.NodeID(i), &nullController{payload: []byte{byte(i)}})
+	}
+	bus.Start()
+
+	const roundsPerRun = 512
+	slotsPerRun := roundsPerRun * len(cfg.Slots)
+	roundUS := cfg.RoundDuration().Micros()
+	var until sim.Time
+	run := func() {
+		until += sim.Time(roundsPerRun * roundUS)
+		sched.RunUntil(until)
+	}
+	run() // warm the event pool and bus scratch
+
+	allocs := testing.AllocsPerRun(5, run)
+	perSlot := allocs / float64(slotsPerRun)
+	t.Logf("bus slot: %.4f allocs/slot", perSlot)
+	if perSlot > 2 {
+		t.Errorf("bus slot allocates %.2f objects/slot, want <= 2", perSlot)
+	}
+}
+
+// TestAllocGuardAssessorEpoch bounds one ONA-suite evaluation over a loaded
+// history (active connector fault, symptom traffic flowing). The epoch
+// scratch (EvalContext, finding map, sort buffers) is reused; what remains
+// is the per-epoch trust-history growth and emitted findings (measured ~3).
+func TestAllocGuardAssessorEpoch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster warm-up in -short mode")
+	}
+	sys := scenario.Fig10(20050404, diagnosis.Options{})
+	sys.Injector.ConnectorTx(0, 0, 0, 0.3)
+	sys.Run(2000)
+	a := sys.Diag.Assessor
+
+	granule := int64(2000)
+	var now sim.Time
+	run := func() {
+		granule++
+		now++
+		a.EvaluateNow(granule, now)
+	}
+	run() // warm the epoch scratch
+
+	allocs := testing.AllocsPerRun(50, run)
+	t.Logf("assessor epoch: %.1f allocs/epoch", allocs)
+	if allocs > 16 {
+		t.Errorf("assessor epoch allocates %.1f objects, want <= 16", allocs)
+	}
+}

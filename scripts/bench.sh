@@ -1,0 +1,52 @@
+#!/bin/sh
+# Benchmark harness: runs the curated hot-path benchmark set with -benchmem
+# and hands the output to the stdlib-only comparator (cmd/decos-benchcmp),
+# which writes the JSON perf-trajectory report committed as BENCH_<pr>.json.
+#
+# Usage:
+#   scripts/bench.sh [-short] [-baseline OLD.txt] [-o REPORT.json] [-keep RAW.txt]
+#
+# -short trims benchtime so the harness finishes in seconds (CI smoke test);
+# the full run uses the default 1s benchtime for the steady-state set and a
+# single iteration for the whole-experiment set (E8, E13).
+set -eu
+cd "$(dirname "$0")/.."
+
+SHORT=0
+BASELINE=""
+OUT=""
+KEEP=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -short) SHORT=1 ;;
+    -baseline) BASELINE=$2; shift ;;
+    -o) OUT=$2; shift ;;
+    -keep) KEEP=$2; shift ;;
+    *)
+        echo "usage: scripts/bench.sh [-short] [-baseline old.txt] [-o report.json] [-keep raw.txt]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+# Steady-state hot paths (per-round/per-epoch/per-batch cost) and the two
+# heaviest end-to-end experiments.
+HOT='^(BenchmarkSchedulerThroughput|BenchmarkClusterRound|BenchmarkClusterRoundUnderFault|BenchmarkAssessorEpoch|BenchmarkWarrantyIngest)$'
+FULL='^(BenchmarkE8NFF|BenchmarkE13FleetWarranty)$'
+
+RAW=${KEEP:-$(mktemp "${TMPDIR:-/tmp}/decos-bench.XXXXXX")}
+[ -n "$KEEP" ] || trap 'rm -f "$RAW"' EXIT
+
+if [ "$SHORT" = 1 ]; then
+    go test -run='^$' -bench "$HOT" -benchmem -benchtime=10x . | tee "$RAW"
+else
+    go test -run='^$' -bench "$HOT" -benchmem . | tee "$RAW"
+    go test -run='^$' -bench "$FULL" -benchmem -benchtime=1x . | tee -a "$RAW"
+fi
+
+if [ -n "$BASELINE" ]; then
+    go run ./cmd/decos-benchcmp ${OUT:+-o "$OUT"} "$BASELINE" "$RAW"
+elif [ -n "$OUT" ]; then
+    go run ./cmd/decos-benchcmp -snapshot -o "$OUT" "$RAW"
+fi
