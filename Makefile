@@ -2,7 +2,8 @@ GO ?= go
 
 .PHONY: check test race bench benchfull benchall build fmt vet
 
-# Full gate: gofmt (failing), vet, build, tests under -race.
+# Commit gate: gofmt (failing), vet, build, full tests, and a targeted
+# -race leg over the concurrent packages (scenario, warranty, engine).
 check:
 	./scripts/check.sh
 

@@ -68,7 +68,8 @@ func run(which string, seed uint64) {
 	}
 	r, ok := experiments.ByID(which, seed)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (use E1..E8, A1..A4, all)\n", which)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid experiments:\n  %s\n  all\n",
+			which, strings.Join(experiments.Names(), " "))
 		os.Exit(2)
 	}
 	fmt.Println(r)

@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"decos/internal/engine"
 	"decos/internal/scenario"
 	"decos/internal/warranty"
 )
@@ -51,6 +52,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// One context drives every long-running loop of the process: SIGTERM
+	// aborts an in-flight demo campaign and drains the HTTP server.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	col := warranty.NewCollector(*shards)
 	if *demoVehicles > 0 {
 		start := time.Now()
@@ -60,11 +66,15 @@ func main() {
 			Seed:     *demoSeed,
 			Workers:  runtime.GOMAXPROCS(0),
 		}
-		c.RunTraced(func(v int, ndjson []byte) {
+		res := c.RunTracedContext(ctx, func(v int, ndjson []byte) {
 			if _, _, err := col.IngestStream(bytes.NewReader(ndjson), *maxLineBytes); err != nil {
 				log.Printf("demo vehicle %d: %v", v, err)
 			}
 		})
+		if res.Partial {
+			log.Printf("demo campaign interrupted after %d of %d vehicles", res.Completed, *demoVehicles)
+			return
+		}
 		log.Printf("demo campaign: %d vehicles, %d events ingested in %v",
 			col.Vehicles(), col.Events(), time.Since(start).Round(time.Millisecond))
 	}
@@ -80,28 +90,11 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("decos-fleetd listening on %s (%d shards)", *addr, *shards)
-		errc <- srv.ListenAndServe()
-	}()
-
-	select {
-	case err := <-errc:
-		log.Fatal(err)
-	case <-ctx.Done():
-		stop()
-		log.Printf("shutting down: draining connections")
-		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(shCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
-			os.Exit(1)
-		}
-		log.Printf("bye: %d vehicles, %d events, %d corrupt lines",
-			col.Vehicles(), col.Events(), col.Corrupt())
+	log.Printf("decos-fleetd listening on %s (%d shards)", *addr, *shards)
+	if err := engine.Serve(ctx, srv, 15*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "decos-fleetd: %v\n", err)
+		os.Exit(1)
 	}
+	log.Printf("bye: %d vehicles, %d events, %d corrupt lines",
+		col.Vehicles(), col.Events(), col.Corrupt())
 }

@@ -8,8 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"decos/internal/scenario"
 )
@@ -22,13 +26,20 @@ func main() {
 	csv := flag.Bool("csv", false, "emit per-incident CSV")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	c := scenario.Campaign{
 		Vehicles:       *vehicles,
 		Rounds:         *rounds,
 		Seed:           *seed,
 		FaultFreeShare: *faultFree,
 	}
-	res := c.Run()
+	res := c.RunContext(ctx)
+	if res.Partial {
+		fmt.Fprintf(os.Stderr, "interrupted: %d of %d vehicles completed; partial results follow\n",
+			res.Completed, *vehicles)
+	}
 
 	if *csv {
 		fmt.Println("incident,true_class,persistence,culprit,diagnosed,action,correct_class,correct_action,nff,missed,cost")

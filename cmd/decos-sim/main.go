@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"decos/internal/diagnosis"
 	"decos/internal/maintenance"
@@ -32,9 +35,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
 	flag.Parse()
 
-	sys := scenario.Fig10(*seed, diagnosis.Options{})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var rec *trace.Recorder
+	sys := scenario.Fig10(*seed, diagnosis.Options{})
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -42,7 +47,8 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		rec = trace.Attach(sys.Cluster, sys.Diag, sys.Injector, f, trace.Options{TrustEveryEpochs: 5})
+		rec = trace.AttachSink(sys.Cluster, sys.Diag, sys.Injector,
+			trace.NewNDJSONSink(f), trace.Options{TrustEveryEpochs: 5})
 	}
 
 	var kind scenario.FaultKind = -1
@@ -64,7 +70,10 @@ func main() {
 		fmt.Printf("injected: %s\n", act)
 	}
 
-	sys.Run(*rounds)
+	if err := sys.RunCtx(ctx, *rounds); err != nil {
+		fmt.Fprintf(os.Stderr, "interrupted after %d of %d rounds\n", sys.Cluster.Round(), *rounds)
+		os.Exit(130)
+	}
 	now := sys.Cluster.Sched.Now()
 	fmt.Printf("simulated %d rounds (%v), %d events, %d symptoms disseminated\n\n",
 		*rounds, now, sys.Cluster.Sched.Fired(), sys.Diag.Assessor.SymptomsReceived)

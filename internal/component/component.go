@@ -1,6 +1,7 @@
 package component
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -276,6 +277,15 @@ func (cl *Cluster) Start() error {
 func (cl *Cluster) RunRounds(n int64) {
 	target := cl.Sched.Now().Add(sim.Duration(n * cl.Cfg.RoundDuration().Micros()))
 	cl.Sched.RunUntil(target - 1)
+}
+
+// RunRoundsCtx is RunRounds with cooperative cancellation: it returns
+// ctx.Err() when the context is cancelled mid-run (the cluster is then
+// stopped partway through a round) and nil on completion. A nil or
+// never-cancelled context is free and byte-identical to RunRounds.
+func (cl *Cluster) RunRoundsCtx(ctx context.Context, n int64) error {
+	target := cl.Sched.Now().Add(sim.Duration(n * cl.Cfg.RoundDuration().Micros()))
+	return cl.Sched.RunUntilCtx(ctx, target-1)
 }
 
 // Round returns the current TDMA round.

@@ -1,0 +1,222 @@
+// Package engine is the single cluster-run harness of the reproduction:
+// every consumer — the E1–E13 experiments, the scenario systems
+// (Fig. 10, the scalability grid), the fault-injection campaign and the
+// command-line tools — assembles its cluster through the same
+// functional-options builder and drives it through the same
+// context-aware Run lifecycle.
+//
+// Before the engine existed each of those call sites hand-rolled the
+// identical wiring: TDMA schedule, cluster construction, clock-ensemble
+// attachment, diagnosis/OBD attachment, trace recording, start, run
+// loop. The engine folds that into one composable pipeline
+//
+//	schedule → cluster → clocks → topology → diagnosis/OBD → trace → start
+//
+// so a new workload is an engine configuration, not a new copy of the
+// wiring — the same argument "Diagnosable-by-Design" makes for diagnosis
+// infrastructure as an architectural layer rather than per-experiment
+// scaffolding.
+//
+// The builder is behaviour-preserving by construction: it performs
+// exactly the calls the hand-rolled sites performed, in the same order,
+// against the same named RNG streams, so a run under a given seed is
+// bit-identical to the pre-engine wiring (guarded by the golden-snapshot
+// tests in this package).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"decos/internal/baseline"
+	"decos/internal/clock"
+	"decos/internal/component"
+	"decos/internal/diagnosis"
+	"decos/internal/faults"
+	"decos/internal/sim"
+	"decos/internal/trace"
+	"decos/internal/tt"
+)
+
+// ClockSpec describes the fault-tolerant clock ensemble of a cluster: one
+// oscillator per component, drifts drawn uniformly from ±MaxDriftPPM, FTA
+// resynchronization tolerating K faulty clocks within precision window Π.
+type ClockSpec struct {
+	MaxDriftPPM float64 // uniform drift bound, parts per million
+	JitterUS    float64 // per-reading jitter stddev, microseconds
+	PrecisionUS float64 // synchronization window Π, microseconds
+	Tolerated   int     // K, arbitrary faulty clocks tolerated by FTA
+}
+
+// Config is the resolved build plan of an Engine. Construct it through
+// Options; the zero value is not runnable.
+type Config struct {
+	Nodes     int
+	SlotLen   sim.Duration
+	SlotBytes int
+	Seed      uint64
+
+	clocks    *ClockSpec
+	build     []func(cl *component.Cluster)
+	diagNode  tt.NodeID
+	diagOpts  diagnosis.Options
+	withDiag  bool
+	withOBD   bool
+	manifest  []func(inj *faults.Injector)
+	sink      trace.Sink
+	traceOpts trace.Options
+}
+
+// Option configures an Engine build.
+type Option func(*Config)
+
+// WithTopology sets the cluster dimensions: node count, TDMA slot length
+// and per-slot frame payload bytes (a uniform schedule, one slot per
+// node — the layout every current scenario uses).
+func WithTopology(nodes int, slotLen sim.Duration, slotBytes int) Option {
+	return func(c *Config) { c.Nodes, c.SlotLen, c.SlotBytes = nodes, slotLen, slotBytes }
+}
+
+// WithSeed sets the master seed all named RNG streams derive from.
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithClocks attaches a fault-tolerant clock ensemble (core service C2)
+// sized to the topology. This is the single home of the clock wiring the
+// experiments and scenarios previously each hand-rolled.
+func WithClocks(maxDriftPPM, jitterUS, precisionUS float64, tolerated int) Option {
+	return func(c *Config) {
+		c.clocks = &ClockSpec{
+			MaxDriftPPM: maxDriftPPM, JitterUS: jitterUS,
+			PrecisionUS: precisionUS, Tolerated: tolerated,
+		}
+	}
+}
+
+// WithBuild registers a topology-population hook: components, DASs,
+// networks, jobs and environment signals are added here, before
+// diagnosis attaches and the cluster starts. Hooks run in registration
+// order.
+func WithBuild(build func(cl *component.Cluster)) Option {
+	return func(c *Config) { c.build = append(c.build, build) }
+}
+
+// WithDiagnosis attaches the DECOS diagnostic DAS with its analysis stage
+// on the given node.
+func WithDiagnosis(node tt.NodeID, opts diagnosis.Options) Option {
+	return func(c *Config) { c.diagNode, c.diagOpts, c.withDiag = node, opts, true }
+}
+
+// WithOBD attaches the conventional on-board-diagnosis baseline.
+func WithOBD() Option {
+	return func(c *Config) { c.withOBD = true }
+}
+
+// WithFaults registers a fault-manifest hook invoked with the cluster's
+// injector once the cluster is started — the declarative home for
+// scripted injections. Hooks run in registration order.
+func WithFaults(apply func(inj *faults.Injector)) Option {
+	return func(c *Config) { c.manifest = append(c.manifest, apply) }
+}
+
+// WithSink routes trace recording into the given sink. A nil or no-op
+// sink installs no instrumentation (the hot path keeps its
+// zero-allocation contract); any other sink receives the event stream
+// selected by opts.
+func WithSink(sink trace.Sink, opts trace.Options) Option {
+	return func(c *Config) { c.sink, c.traceOpts = sink, opts }
+}
+
+// WithTraceWriter is WithSink over an NDJSON sink on w.
+func WithTraceWriter(w io.Writer, opts trace.Options) Option {
+	return WithSink(trace.NewNDJSONSink(w), opts)
+}
+
+// Engine is one assembled, started cluster with its attached observers.
+// Fields for unrequested attachments are nil.
+type Engine struct {
+	Cluster  *component.Cluster
+	Diag     *diagnosis.Diagnostics
+	OBD      *baseline.OBD
+	Injector *faults.Injector
+	Recorder *trace.Recorder
+
+	cfg Config
+}
+
+// New assembles and starts a cluster from the given options. The build
+// pipeline is fixed — schedule, cluster, clocks, topology hooks,
+// diagnosis, OBD, trace, seal/start, injector, fault manifest — so every
+// consumer constructs byte-identical systems for identical options.
+func New(opts ...Option) (*Engine, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("engine: topology with %d nodes (use WithTopology)", cfg.Nodes)
+	}
+	if cfg.SlotLen <= 0 || cfg.SlotBytes <= 0 {
+		return nil, fmt.Errorf("engine: invalid slot spec %v/%dB (use WithTopology)", cfg.SlotLen, cfg.SlotBytes)
+	}
+
+	schedule := tt.UniformSchedule(cfg.Nodes, cfg.SlotLen, cfg.SlotBytes)
+	cl := component.NewCluster(schedule, cfg.Seed)
+	if cs := cfg.clocks; cs != nil {
+		cl.Bus.Clocks = clock.NewCluster(cfg.Nodes, cs.MaxDriftPPM, cs.JitterUS,
+			cs.PrecisionUS, cs.Tolerated, cl.Streams.Stream("clocks"))
+	}
+	for _, build := range cfg.build {
+		build(cl)
+	}
+
+	e := &Engine{Cluster: cl, cfg: cfg}
+	if cfg.withDiag {
+		e.Diag = diagnosis.Attach(cl, cfg.diagNode, cfg.diagOpts)
+	}
+	if cfg.withOBD {
+		e.OBD = baseline.Attach(cl)
+	}
+	e.Injector = faults.NewInjector(cl)
+	if !trace.IsNop(cfg.sink) {
+		e.Recorder = trace.AttachSink(cl, e.Diag, e.Injector, cfg.sink, cfg.traceOpts)
+	}
+	if err := cl.Start(); err != nil {
+		return nil, fmt.Errorf("engine: start: %w", err)
+	}
+	for _, apply := range cfg.manifest {
+		apply(e.Injector)
+	}
+	return e, nil
+}
+
+// MustNew is New, panicking on configuration errors — for scenario
+// constructors whose configuration is static and whose failure is a
+// programming bug, not a runtime condition.
+func MustNew(opts ...Option) *Engine {
+	e, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Run advances the cluster by n TDMA rounds under the context: it returns
+// ctx.Err() when cancelled mid-run (the cluster halts partway, observable
+// state intact) and nil on completion. context.Background() — or any
+// context that cannot be cancelled — is free and keeps runs bit-identical
+// to the ctx-free path.
+func (e *Engine) Run(ctx context.Context, n int64) error {
+	return e.Cluster.RunRoundsCtx(ctx, n)
+}
+
+// RunRounds advances the cluster by n TDMA rounds without a context.
+func (e *Engine) RunRounds(n int64) { e.Cluster.RunRounds(n) }
+
+// Now returns the cluster's current simulated time.
+func (e *Engine) Now() sim.Time { return e.Cluster.Sched.Now() }
+
+// Round returns the cluster's current TDMA round.
+func (e *Engine) Round() int64 { return e.Cluster.Round() }

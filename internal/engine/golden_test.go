@@ -1,0 +1,34 @@
+package engine_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"decos/internal/experiments"
+)
+
+// TestGoldenExperimentSnapshots pins E2 and E8 under the canonical seed to
+// byte-identical snapshots captured before the engine refactor: the run
+// engine must assemble exactly the system the hand-rolled wiring did.
+// Regenerate deliberately with `go run ./tools/goldengen` after a change
+// that intends to alter results.
+func TestGoldenExperimentSnapshots(t *testing.T) {
+	const seed = 20050404
+	for _, id := range []string{"E2", "E8"} {
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", id+"_seed20050404.golden"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, ok := experiments.ByID(id, seed)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			if got := r.String(); got != string(want) {
+				t.Errorf("%s output drifted from the pre-refactor snapshot\n--- got ---\n%s--- want ---\n%s",
+					id, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Serve runs srv until the context is cancelled, then drains it
+// gracefully for at most grace. It is the HTTP leg of the engine's run
+// lifecycle: the same context that cancels a simulation run or a campaign
+// shuts the warranty daemon down, so one SIGTERM stops every long-running
+// loop of a process.
+//
+// It returns nil after a clean drain, the shutdown error when draining
+// failed or timed out, and the listener error when the server failed
+// before cancellation (http.ErrServerClosed is not an error).
+func Serve(ctx context.Context, srv *http.Server, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	shCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

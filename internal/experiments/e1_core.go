@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"decos/internal/clock"
 	"decos/internal/component"
+	"decos/internal/engine"
 	"decos/internal/sim"
 	"decos/internal/tt"
 )
@@ -19,38 +19,39 @@ import (
 //	C4 consistent diagnosis    — membership views agree; fail-silent node
 //	                             detected within one round
 func E1CoreServices(seed uint64) *Result {
-	cfg := tt.UniformSchedule(4, 250*sim.Microsecond, 64)
-	cl := component.NewCluster(cfg, seed)
-	cl.Bus.Clocks = clock.NewCluster(4, 100, 0.1, 25, 1, cl.Streams.Stream("clocks"))
-	for i := 0; i < 4; i++ {
-		cl.AddComponent(tt.NodeID(i), fmt.Sprintf("c%d", i), float64(i), 0)
-	}
-	// One trivial job per component so rounds have work.
-	cl.Env.DefineConst("x", 1)
-	das := cl.AddDAS("E1", component.NonSafetyCritical)
-	for i := 0; i < 4; i++ {
-		cl.AddJob(das, cl.Component(tt.NodeID(i)), fmt.Sprintf("j%d", i), 0,
-			component.JobFunc(func(ctx *component.Context) {}))
-	}
-
 	// C1: record slot firing offsets.
 	maxJitter := int64(0)
 	slotCount := 0
-	cl.Bus.Observe(func(f *tt.Frame, _ []tt.FrameStatus) {
-		want := cfg.SlotStart(f.Round, f.Slot)
-		if d := f.At.Micros() - want.Micros(); d != 0 {
-			if d < 0 {
-				d = -d
+	eng := engine.MustNew(
+		engine.WithTopology(4, 250*sim.Microsecond, 64),
+		engine.WithSeed(seed),
+		engine.WithClocks(100, 0.1, 25, 1),
+		engine.WithBuild(func(cl *component.Cluster) {
+			for i := 0; i < 4; i++ {
+				cl.AddComponent(tt.NodeID(i), fmt.Sprintf("c%d", i), float64(i), 0)
 			}
-			if d > maxJitter {
-				maxJitter = d
+			// One trivial job per component so rounds have work.
+			cl.Env.DefineConst("x", 1)
+			das := cl.AddDAS("E1", component.NonSafetyCritical)
+			for i := 0; i < 4; i++ {
+				cl.AddJob(das, cl.Component(tt.NodeID(i)), fmt.Sprintf("j%d", i), 0,
+					component.JobFunc(func(ctx *component.Context) {}))
 			}
-		}
-		slotCount++
-	})
-	if err := cl.Start(); err != nil {
-		panic(err)
-	}
+			cl.Bus.Observe(func(f *tt.Frame, _ []tt.FrameStatus) {
+				want := cl.Cfg.SlotStart(f.Round, f.Slot)
+				if d := f.At.Micros() - want.Micros(); d != 0 {
+					if d < 0 {
+						d = -d
+					}
+					if d > maxJitter {
+						maxJitter = d
+					}
+				}
+				slotCount++
+			})
+		}),
+	)
+	cl := eng.Cluster
 
 	// Phase 1: healthy run, track precision.
 	worstPrecision := 0.0

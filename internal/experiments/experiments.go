@@ -42,71 +42,60 @@ func (r *Result) String() string {
 	return b.String()
 }
 
+// registry is the single ordered catalogue of experiments; All, ByID and
+// Names all derive from it, so adding an experiment is one entry here.
+var registry = []struct {
+	ID  string
+	Run func(seed uint64) *Result
+}{
+	{"E1", E1CoreServices},
+	{"E2", E2Chain},
+	{"E3", E3Bathtub},
+	{"E4", E4Patterns},
+	{"E5", E5Trust},
+	{"E6", E6Judgment},
+	{"E7", E7Actions},
+	{"E8", E8NFF},
+	{"E9", E9MultiFault},
+	{"E10", E10Scale},
+	{"E11", E11RepairLoop},
+	{"E12", E12Robustness},
+	{"E13", E13FleetWarranty},
+	{"A1", A1WindowSweep},
+	{"A2", A2AlphaSweep},
+	{"A3", A3Encapsulation},
+	{"A4", A4QueueSweep},
+	{"A5", A5DiagBandwidth},
+}
+
 // All runs every experiment with the given base seed, in order.
 func All(seed uint64) []*Result {
-	return []*Result{
-		E1CoreServices(seed),
-		E2Chain(seed),
-		E3Bathtub(seed),
-		E4Patterns(seed),
-		E5Trust(seed),
-		E6Judgment(seed),
-		E7Actions(seed),
-		E8NFF(seed),
-		E9MultiFault(seed),
-		E10Scale(seed),
-		E11RepairLoop(seed),
-		E12Robustness(seed),
-		E13FleetWarranty(seed),
-		A1WindowSweep(seed),
-		A2AlphaSweep(seed),
-		A3Encapsulation(seed),
-		A4QueueSweep(seed),
-		A5DiagBandwidth(seed),
+	out := make([]*Result, len(registry))
+	for i, e := range registry {
+		out[i] = e.Run(seed)
 	}
+	return out
 }
 
 // ByID runs the experiment with the given identifier (case-insensitive).
 func ByID(id string, seed uint64) (*Result, bool) {
-	switch strings.ToUpper(id) {
-	case "E1":
-		return E1CoreServices(seed), true
-	case "E2":
-		return E2Chain(seed), true
-	case "E3":
-		return E3Bathtub(seed), true
-	case "E4":
-		return E4Patterns(seed), true
-	case "E5":
-		return E5Trust(seed), true
-	case "E6":
-		return E6Judgment(seed), true
-	case "E7":
-		return E7Actions(seed), true
-	case "E8":
-		return E8NFF(seed), true
-	case "E9":
-		return E9MultiFault(seed), true
-	case "E10":
-		return E10Scale(seed), true
-	case "E11":
-		return E11RepairLoop(seed), true
-	case "E12":
-		return E12Robustness(seed), true
-	case "E13":
-		return E13FleetWarranty(seed), true
-	case "A1":
-		return A1WindowSweep(seed), true
-	case "A2":
-		return A2AlphaSweep(seed), true
-	case "A3":
-		return A3Encapsulation(seed), true
-	case "A4":
-		return A4QueueSweep(seed), true
-	case "A5":
-		return A5DiagBandwidth(seed), true
+	want := strings.ToUpper(id)
+	for _, e := range registry {
+		if e.ID == want {
+			return e.Run(seed), true
+		}
 	}
 	return nil, false
+}
+
+// Names returns every experiment identifier in run order — the valid
+// values of ByID, for discoverable command-line errors.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
 }
 
 // table is a tiny fixed-width table builder.

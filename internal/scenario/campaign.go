@@ -2,12 +2,14 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"decos/internal/core"
 	"decos/internal/diagnosis"
+	"decos/internal/engine"
 	"decos/internal/faults"
 	"decos/internal/fleet"
 	"decos/internal/maintenance"
@@ -183,6 +185,11 @@ type CampaignResult struct {
 	// Fleet tallies every job-inherent verdict across the fleet (Section
 	// V-C): the 20-80 concentration and systematic-fault separation.
 	Fleet *fleet.Tally
+	// Partial flags a result cut short by context cancellation: only
+	// Completed vehicles are merged; in-flight vehicles are discarded
+	// whole, so the numbers that are present remain exact.
+	Partial   bool
+	Completed int
 }
 
 // vehiclePlan is one vehicle's pre-drawn randomness, fixed before any
@@ -213,7 +220,13 @@ type TraceSink func(vehicle int, ndjson []byte)
 
 // Run executes the campaign — in parallel when Workers > 1 — and audits
 // both diagnosers against the shared ground truth.
-func (c Campaign) Run() *CampaignResult { return c.run(nil) }
+func (c Campaign) Run() *CampaignResult { return c.run(context.Background(), nil) }
+
+// RunContext is Run under a context: cancellation stops feeding vehicles,
+// aborts in-flight simulations at the next scheduler poll, and returns a
+// partial result (Partial=true) merging only the vehicles that completed.
+// Workers exit before RunContext returns — no goroutines are leaked.
+func (c Campaign) RunContext(ctx context.Context) *CampaignResult { return c.run(ctx, nil) }
 
 // RunTraced is Run doubling as the fleet load generator: every vehicle
 // additionally records a JSON-lines trace (failed frames, symptoms,
@@ -222,13 +235,19 @@ func (c Campaign) Run() *CampaignResult { return c.run(nil) }
 // scale. Recording only observes, so the returned result is bit-identical
 // to Run's for the same seeds. Workers ≤ 0 uses runtime.NumCPU().
 func (c Campaign) RunTraced(sink TraceSink) *CampaignResult {
+	return c.RunTracedContext(context.Background(), sink)
+}
+
+// RunTracedContext is RunTraced under a context, with RunContext's
+// partial-result semantics; cancelled vehicles hand nothing to sink.
+func (c Campaign) RunTracedContext(ctx context.Context, sink TraceSink) *CampaignResult {
 	if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU()
 	}
-	return c.run(sink)
+	return c.run(ctx, sink)
 }
 
-func (c Campaign) run(sink TraceSink) *CampaignResult {
+func (c Campaign) run(ctx context.Context, sink TraceSink) *CampaignResult {
 	mix := c.Mix
 	if mix == nil {
 		mix = DefaultMix()
@@ -263,22 +282,32 @@ func (c Campaign) run(sink TraceSink) *CampaignResult {
 	}
 
 	outcomes := make([]vehicleOutcome, c.Vehicles)
-	runOne := func(v int) {
+	done := make([]bool, c.Vehicles)
+	// runOne simulates vehicle v end to end and reports whether it
+	// completed. A cancelled vehicle is discarded whole — no partial
+	// outcome, no trace handed to sink — so merged numbers stay exact.
+	runOne := func(v int) bool {
+		if ctx.Err() != nil {
+			return false
+		}
 		p := plans[v]
-		sys := Fig10(p.seed, c.Opts)
-		horizon := sim.Time(c.Rounds * sys.Cluster.Cfg.RoundDuration().Micros())
-		var rec *trace.Recorder
+		var extra []engine.Option
 		var buf bytes.Buffer
 		if sink != nil {
-			rec = trace.Attach(sys.Cluster, sys.Diag, sys.Injector, &buf,
-				trace.Options{TrustEveryEpochs: 5, Vehicle: v + 1})
+			extra = []engine.Option{engine.WithTraceWriter(&buf,
+				trace.Options{TrustEveryEpochs: 5, Vehicle: v + 1})}
 		}
+		sys := fig10Engine(p.seed, c.Opts, extra)
+		rec := sys.Engine.Recorder
+		horizon := sim.Time(c.Rounds * sys.Cluster.Cfg.RoundDuration().Micros())
 		out := vehicleOutcome{faultFree: p.faultFree, diag: sys.Diag, obd: sys.OBD}
 		for i, kind := range p.kinds {
 			at := sim.Time(float64(horizon) * p.atFrac[i])
 			out.acts = append(out.acts, sys.Inject(kind, at, horizon))
 		}
-		sys.Run(c.Rounds)
+		if err := sys.RunCtx(ctx, c.Rounds); err != nil {
+			return false
+		}
 		if p.faultFree {
 			out.decosFalseAlarms = countRemovalAdvice(sys, sys.Diag)
 			out.obdFalseAlarms = countRemovalAdvice(sys, sys.OBD)
@@ -297,6 +326,7 @@ func (c Campaign) run(sink TraceSink) *CampaignResult {
 			sink(v+1, buf.Bytes())
 		}
 		outcomes[v] = out
+		return true
 	}
 
 	if c.Workers > 1 {
@@ -307,25 +337,35 @@ func (c Campaign) run(sink TraceSink) *CampaignResult {
 			go func() {
 				defer wg.Done()
 				for v := range work {
-					runOne(v)
+					done[v] = runOne(v)
 				}
 			}()
 		}
+	feed:
 		for v := 0; v < c.Vehicles; v++ {
-			work <- v
+			select {
+			case work <- v:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(work)
 		wg.Wait()
 	} else {
-		for v := 0; v < c.Vehicles; v++ {
-			runOne(v)
+		for v := 0; v < c.Vehicles && ctx.Err() == nil; v++ {
+			done[v] = runOne(v)
 		}
 	}
 
-	// Merge in vehicle order: deterministic regardless of Workers.
+	// Merge in vehicle order: deterministic regardless of Workers. Only
+	// completed vehicles contribute.
 	res := &CampaignResult{Fleet: fleet.NewTally()}
 	var decosLedger, obdLedger []auditPair
-	for _, out := range outcomes {
+	for v, out := range outcomes {
+		if !done[v] {
+			continue
+		}
+		res.Completed++
 		for _, inc := range out.incidents {
 			res.Fleet.Observe(inc.Vehicle, inc.Job)
 		}
@@ -342,6 +382,7 @@ func (c Campaign) run(sink TraceSink) *CampaignResult {
 	}
 	res.DECOS = evaluatePairs(decosLedger)
 	res.OBD = evaluatePairs(obdLedger)
+	res.Partial = ctx.Err() != nil && res.Completed < c.Vehicles
 	return res
 }
 

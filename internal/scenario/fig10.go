@@ -7,10 +7,12 @@
 package scenario
 
 import (
+	"context"
+
 	"decos/internal/baseline"
-	"decos/internal/clock"
 	"decos/internal/component"
 	"decos/internal/diagnosis"
+	"decos/internal/engine"
 	"decos/internal/faults"
 	"decos/internal/sim"
 	"decos/internal/tt"
@@ -29,8 +31,9 @@ const (
 )
 
 // System is one fully assembled Fig. 10 cluster with diagnostics, the OBD
-// baseline and a fault injector.
+// baseline and a fault injector, built on the shared run engine.
 type System struct {
+	Engine   *engine.Engine
 	Cluster  *component.Cluster
 	Diag     *diagnosis.Diagnostics
 	OBD      *baseline.OBD
@@ -49,10 +52,35 @@ const DiagNode tt.NodeID = 3
 // Fig10 builds the canonical system with the given seed and diagnostic
 // options. The cluster is started and ready to run.
 func Fig10(seed uint64, opts diagnosis.Options) *System {
-	cfg := tt.UniformSchedule(4, 250*sim.Microsecond, 256)
-	cl := component.NewCluster(cfg, seed)
-	cl.Bus.Clocks = clock.NewCluster(4, 50, 0, 20, 1, cl.Streams.Stream("clocks"))
+	return fig10Engine(seed, opts, nil)
+}
 
+// fig10Engine assembles the Fig. 10 system through the run engine; extra
+// options (a trace sink, a fault manifest) compose onto the canonical
+// configuration.
+func fig10Engine(seed uint64, opts diagnosis.Options, extra []engine.Option) *System {
+	sys := &System{}
+	eopts := append([]engine.Option{
+		engine.WithTopology(4, 250*sim.Microsecond, 256),
+		engine.WithSeed(seed),
+		engine.WithClocks(50, 0, 20, 1),
+		engine.WithBuild(sys.buildFig10),
+		engine.WithDiagnosis(DiagNode, opts),
+		engine.WithOBD(),
+	}, extra...)
+	eng := engine.MustNew(eopts...)
+	sys.Engine = eng
+	sys.Cluster = eng.Cluster
+	sys.Diag = eng.Diag
+	sys.OBD = eng.OBD
+	sys.Injector = eng.Injector
+	return sys
+}
+
+// buildFig10 populates the Fig. 10 topology: three application DASs (two
+// non-safety-critical, one safety-critical TMR triple) over four
+// components.
+func (s *System) buildFig10(cl *component.Cluster) {
 	c0 := cl.AddComponent(0, "front-left", 0, 0)
 	c1 := cl.AddComponent(1, "front-right", 1, 0)
 	c2 := cl.AddComponent(2, "rear-left", 5, 0)
@@ -119,23 +147,17 @@ func Fig10(seed uint64, opts diagnosis.Options) *System {
 	}
 	cl.Produce(vj, nS, component.ChannelSpec{Channel: ChVoted, Name: "voted", Min: 0, Max: 100, MaxAgeRounds: 3})
 
-	diag := diagnosis.Attach(cl, DiagNode, opts)
-	obd := baseline.Attach(cl)
-
-	if err := cl.Start(); err != nil {
-		panic(err)
-	}
-	return &System{
-		Cluster:  cl,
-		Diag:     diag,
-		OBD:      obd,
-		Injector: faults.NewInjector(cl),
-		Voter:    voter,
-		Sensor:   a1, Control: a2, Actuator: a3,
-		Bursty: c1j, Sink: c2j,
-		Replicas: reps, VoterJob: vj,
-	}
+	s.Voter = voter
+	s.Sensor, s.Control, s.Actuator = a1, a2, a3
+	s.Bursty, s.Sink = c1j, c2j
+	s.Replicas, s.VoterJob = reps, vj
 }
 
 // Run advances the system by n TDMA rounds.
 func (s *System) Run(n int64) { s.Cluster.RunRounds(n) }
+
+// RunCtx advances the system by n TDMA rounds under the context; it
+// returns ctx.Err() when cancelled mid-run, nil on completion.
+func (s *System) RunCtx(ctx context.Context, n int64) error {
+	return s.Cluster.RunRoundsCtx(ctx, n)
+}

@@ -1,7 +1,11 @@
 package scenario
 
 import (
+	"context"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"decos/internal/core"
 	"decos/internal/diagnosis"
@@ -220,5 +224,71 @@ func TestDefaultMixNormalizes(t *testing.T) {
 		if n == 0 {
 			t.Errorf("kind %v never sampled", kinds[i])
 		}
+	}
+}
+
+// TestCampaignCancellation: cancelling a campaign mid-run returns a
+// partial, flagged result — only completed vehicles merged — and leaves no
+// worker goroutines behind.
+func TestCampaignCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	before := runtime.NumGoroutine()
+	c := Campaign{
+		Vehicles:       16,
+		Rounds:         4000,
+		Seed:           3,
+		FaultFreeShare: 0.25,
+		Workers:        4,
+	}
+	// Cancel once the first vehicle's trace lands: some work done, most
+	// vehicles still pending.
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	res := c.RunTracedContext(ctx, func(v int, ndjson []byte) {
+		if len(ndjson) == 0 {
+			t.Errorf("vehicle %d: empty trace", v)
+		}
+		once.Do(cancel)
+	})
+	if !res.Partial {
+		t.Fatal("cancelled campaign not flagged Partial")
+	}
+	if res.Completed == 0 || res.Completed >= c.Vehicles {
+		t.Fatalf("Completed = %d, want in (0, %d)", res.Completed, c.Vehicles)
+	}
+	if got := res.DECOS.Total + res.FaultFreeCount; got > res.Completed {
+		t.Fatalf("merged %d vehicles but only %d completed", got, res.Completed)
+	}
+
+	// Workers must have exited; allow the runtime a moment to reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, now)
+	}
+}
+
+// TestCampaignContextComplete: an uncancelled context is invisible — the
+// result matches Run() exactly.
+func TestCampaignContextComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign in -short mode")
+	}
+	base := Campaign{Vehicles: 6, Rounds: 1500, Seed: 9, FaultFreeShare: 0.25}
+	a := base.Run()
+	b := base.RunContext(context.Background())
+	if b.Partial {
+		t.Fatal("complete campaign flagged Partial")
+	}
+	if b.Completed != base.Vehicles {
+		t.Fatalf("Completed = %d, want %d", b.Completed, base.Vehicles)
+	}
+	if a.DECOS.Total != b.DECOS.Total || a.DECOS.CorrectClass != b.DECOS.CorrectClass ||
+		a.FaultFreeCount != b.FaultFreeCount {
+		t.Errorf("context run diverged from plain run:\na: %+v\nb: %+v", a.DECOS, b.DECOS)
 	}
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 )
 
@@ -213,4 +214,47 @@ func (s *Scheduler) Run() {
 	s.deadline = maxTime
 	for !s.stopped && s.Step() {
 	}
+}
+
+// ctxPollEvents is how many events RunUntilCtx fires between context
+// polls. The poll is two loads on a cancellable context; amortizing it
+// keeps the dispatch loop at its RunUntil cost while bounding cancellation
+// latency to well under a simulated round.
+const ctxPollEvents = 1024
+
+// RunUntilCtx is RunUntil with cooperative cancellation: the context is
+// polled every ctxPollEvents fired events, and on cancellation the loop
+// stops after the in-flight event with the clock left mid-run (it does NOT
+// jump to the deadline — the caller observes exactly how far the run got).
+// It returns ctx.Err() when cancelled, nil on normal completion. A nil or
+// never-cancelled context (Done() == nil) takes the plain RunUntil path
+// with zero overhead, so existing deterministic runs are byte-identical.
+func (s *Scheduler) RunUntilCtx(ctx context.Context, deadline Time) error {
+	if ctx == nil || ctx.Done() == nil {
+		s.RunUntil(deadline)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.stopped = false
+	s.deadline = deadline
+	defer func() { s.deadline = maxTime }()
+	poll := ctxPollEvents
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].At <= deadline {
+		s.Step()
+		if poll--; poll == 0 {
+			poll = ctxPollEvents
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !s.stopped && s.now < deadline {
+		s.now = deadline
+	}
+	return nil
 }

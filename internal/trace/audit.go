@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"encoding/json"
 	"io"
 
 	"decos/internal/core"
@@ -18,11 +17,16 @@ type Advisor struct {
 	Adv  maintenance.Advisor
 }
 
-// NewRecorder returns a recorder writing to w without attaching to any
-// cluster — for synthesizing streams (tests, replays) and for audit-only
-// traces.
+// NewRecorder returns an NDJSON recorder writing to w without attaching to
+// any cluster — for synthesizing streams (tests, replays) and for
+// audit-only traces.
 func NewRecorder(w io.Writer, opts Options) *Recorder {
-	return &Recorder{enc: json.NewEncoder(w), opts: opts}
+	return NewSinkRecorder(NewNDJSONSink(w), opts)
+}
+
+// NewSinkRecorder returns an unattached recorder over an arbitrary sink.
+func NewSinkRecorder(sink Sink, opts Options) *Recorder {
+	return &Recorder{sink: sink, opts: opts}
 }
 
 // WriteAudit appends the end-of-run audit block that makes a vehicle trace

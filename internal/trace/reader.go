@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 )
 
@@ -22,7 +24,13 @@ type Reader struct {
 
 	lines   int
 	corrupt int
+	errs    []error
 }
+
+// maxCorruptErrors bounds the recovery-error detail a Reader retains: a
+// byte-shifted multi-gigabyte stream must not grow an error slice in step
+// with its corruption count.
+const maxCorruptErrors = 16
 
 // NewReader wraps r. The decode buffer is bounded by DefaultMaxLineBytes;
 // use SetMaxLineBytes to tighten or widen the bound before reading.
@@ -45,6 +53,19 @@ func (r *Reader) Lines() int { return r.lines }
 // Corrupt returns the number of lines skipped as undecodable or over-long.
 func (r *Reader) Corrupt() int { return r.corrupt }
 
+// CorruptErrors returns line-recovery detail for skipped lines — each
+// error names the 1-based line number and the reason — capped at the first
+// 16 so a heavily mangled stream stays cheap to diagnose.
+func (r *Reader) CorruptErrors() []error { return r.errs }
+
+// noteCorrupt counts a skipped line and retains its recovery error.
+func (r *Reader) noteCorrupt(err error) {
+	r.corrupt++
+	if len(r.errs) < maxCorruptErrors {
+		r.errs = append(r.errs, err)
+	}
+}
+
 // Next returns the next decodable event. It returns io.EOF at the end of
 // the stream; any other error is a transport error from the underlying
 // reader. Corrupt lines never surface as errors.
@@ -54,10 +75,18 @@ func (r *Reader) Next() (Event, error) {
 		if len(line) > 0 {
 			r.lines++
 			var e Event
-			if json.Unmarshal(line, &e) == nil && e.Kind != "" {
+			switch uerr := json.Unmarshal(line, &e); {
+			case uerr == nil && e.Kind != "":
 				return e, nil
+			case uerr != nil:
+				detail := uerr.Error()
+				if errors.Is(err, io.EOF) {
+					detail += " (truncated final line?)"
+				}
+				r.noteCorrupt(fmt.Errorf("trace: line %d: %s", r.lines, detail))
+			default:
+				r.noteCorrupt(fmt.Errorf("trace: line %d: event without kind", r.lines))
 			}
-			r.corrupt++
 		}
 		if err != nil {
 			return Event{}, err
@@ -88,7 +117,7 @@ func (r *Reader) readLine() ([]byte, error) {
 		if over || len(line) > r.max {
 			// The oversized line just ended: count it once and drop it.
 			r.lines++
-			r.corrupt++
+			r.noteCorrupt(fmt.Errorf("trace: line %d: exceeds %d-byte line bound", r.lines, r.max))
 			line = line[:0]
 		}
 		return bytes.TrimSpace(line), err

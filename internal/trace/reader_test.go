@@ -118,3 +118,73 @@ func TestReaderNoTrailingNewline(t *testing.T) {
 		t.Errorf("want io.EOF, got %v", err)
 	}
 }
+
+// TestReaderCorruptErrorsLineNumbers: recovery errors carry the 1-based
+// line number of the skipped line.
+func TestReaderCorruptErrorsLineNumbers(t *testing.T) {
+	stream := `{"t_us":1,"kind":"frame"}
+garbage
+{"t_us":2,"kind":"trust"}
+{"no_kind_field":true}
+`
+	r := NewReader(strings.NewReader(stream))
+	if err := r.ReadAll(func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	errs := r.CorruptErrors()
+	if len(errs) != 2 {
+		t.Fatalf("CorruptErrors = %v, want 2 entries", errs)
+	}
+	if !strings.Contains(errs[0].Error(), "line 2") {
+		t.Errorf("first error %q does not name line 2", errs[0])
+	}
+	if !strings.Contains(errs[1].Error(), "line 4") || !strings.Contains(errs[1].Error(), "without kind") {
+		t.Errorf("second error %q does not name line 4 / missing kind", errs[1])
+	}
+}
+
+// TestReaderTruncatedFinalLine: a stream cut off mid-record — the common
+// failure of an interrupted uplink — is flagged as such, with the line
+// number, and does not kill the rest of the read.
+func TestReaderTruncatedFinalLine(t *testing.T) {
+	stream := `{"t_us":1,"kind":"frame"}
+{"t_us":2,"kind":"symptom"}
+{"t_us":3,"kind":"ver`
+	r := NewReader(strings.NewReader(stream))
+	var kinds []string
+	if err := r.ReadAll(func(e Event) { kinds = append(kinds, e.Kind) }); err != nil {
+		t.Fatal(err)
+	}
+	if want := "frame,symptom"; strings.Join(kinds, ",") != want {
+		t.Errorf("kinds = %v, want %s", kinds, want)
+	}
+	if r.Corrupt() != 1 {
+		t.Fatalf("corrupt = %d, want 1", r.Corrupt())
+	}
+	msg := r.CorruptErrors()[0].Error()
+	if !strings.Contains(msg, "line 3") {
+		t.Errorf("error %q does not name line 3", msg)
+	}
+	if !strings.Contains(msg, "truncated final line") {
+		t.Errorf("error %q does not flag the truncated final line", msg)
+	}
+}
+
+// TestReaderCorruptErrorsBounded: detail retention is capped; the count
+// keeps going.
+func TestReaderCorruptErrorsBounded(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		b.WriteString("not json\n")
+	}
+	r := NewReader(strings.NewReader(b.String()))
+	if err := r.ReadAll(func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Corrupt() != 40 {
+		t.Errorf("corrupt = %d, want 40", r.Corrupt())
+	}
+	if got := len(r.CorruptErrors()); got != maxCorruptErrors {
+		t.Errorf("retained %d errors, want cap %d", got, maxCorruptErrors)
+	}
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNDJSONSinkWritesLines(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSONSink(&buf)
+	if err := s.Record(&Event{Kind: "injection", T: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(&Event{Kind: "symptom", T: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	r := NewReader(strings.NewReader(buf.String()))
+	n := 0
+	if err := r.ReadAll(func(Event) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || r.Corrupt() != 0 {
+		t.Fatalf("round-trip read %d events (%d corrupt), want 2 clean", n, r.Corrupt())
+	}
+}
+
+type closeRecorder struct {
+	bytes.Buffer
+	closed bool
+}
+
+func (c *closeRecorder) Close() error { c.closed = true; return nil }
+
+func TestNDJSONSinkClosesCloser(t *testing.T) {
+	w := &closeRecorder{}
+	s := NewNDJSONSink(w)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.closed {
+		t.Fatal("Close did not propagate to the underlying io.Closer")
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	s := NewCountingSink()
+	for i := 0; i < 3; i++ {
+		if err := s.Record(&Event{Kind: "symptom", T: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Record(&Event{Kind: "verdict", T: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Total(); got != 4 {
+		t.Fatalf("Total = %d, want 4", got)
+	}
+	if got := s.Count("symptom"); got != 3 {
+		t.Fatalf("Count(symptom) = %d, want 3", got)
+	}
+	if got := s.LastT(); got != 9 {
+		t.Fatalf("LastT = %d, want 9", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNopSink(t *testing.T) {
+	if !IsNop(nil) {
+		t.Fatal("IsNop(nil) = false")
+	}
+	if !IsNop(Nop()) {
+		t.Fatal("IsNop(Nop()) = false")
+	}
+	if IsNop(NewCountingSink()) {
+		t.Fatal("IsNop(CountingSink) = true")
+	}
+	if err := Nop().Record(&Event{Kind: "injection"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeeComposition(t *testing.T) {
+	if !IsNop(Tee()) {
+		t.Fatal("empty Tee should be no-op")
+	}
+	c := NewCountingSink()
+	if got := Tee(c); got != c {
+		t.Fatal("single-sink Tee should return the sink itself")
+	}
+	if got := Tee(nil, Nop(), c); got != c {
+		t.Fatal("Tee should drop nil and no-op sinks")
+	}
+	c2 := NewCountingSink()
+	tee := Tee(c, Tee(c2, Nop()))
+	if err := tee.Record(&Event{Kind: "injection", T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 1 || c2.Total() != 1 {
+		t.Fatalf("tee fan-out: counts %d/%d, want 1/1", c.Total(), c2.Total())
+	}
+	if err := tee.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failingSink struct{ err error }
+
+func (f *failingSink) Record(*Event) error { return f.err }
+func (f *failingSink) Close() error        { return f.err }
+
+func TestTeePropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	c := NewCountingSink()
+	tee := Tee(c, &failingSink{err: boom})
+	if err := tee.Record(&Event{Kind: "injection"}); !errors.Is(err, boom) {
+		t.Fatalf("Record err = %v, want boom", err)
+	}
+	// Record stops at the first error; earlier branches saw the event.
+	if c.Total() != 1 {
+		t.Fatalf("earlier branch count = %d, want 1", c.Total())
+	}
+	if err := tee.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close err = %v, want boom", err)
+	}
+}

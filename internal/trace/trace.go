@@ -7,7 +7,6 @@
 package trace
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
@@ -69,9 +68,9 @@ type Options struct {
 	Vehicle int
 }
 
-// Recorder writes trace events to a JSON-lines stream.
+// Recorder feeds trace events into a Sink (NDJSON by default).
 type Recorder struct {
-	enc  *json.Encoder
+	sink Sink
 	opts Options
 
 	// Events counts written records; Err holds the first write error
@@ -80,10 +79,21 @@ type Recorder struct {
 	Err    error
 }
 
-// Attach wires a recorder onto a cluster (and, optionally, its diagnostics
-// and injector — pass nil to skip either). Must be called before Start.
+// Attach wires an NDJSON recorder onto a cluster (and, optionally, its
+// diagnostics and injector — pass nil to skip either). It must be called
+// before the first round runs.
 func Attach(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Injector, w io.Writer, opts Options) *Recorder {
-	r := &Recorder{enc: json.NewEncoder(w), opts: opts}
+	return AttachSink(cl, d, inj, NewNDJSONSink(w), opts)
+}
+
+// AttachSink is Attach with a caller-chosen back end. A nil or no-op sink
+// installs no instrumentation at all: the returned recorder is inert and
+// the simulator hot path keeps its zero-allocation contract.
+func AttachSink(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Injector, sink Sink, opts Options) *Recorder {
+	r := &Recorder{sink: sink, opts: opts}
+	if IsNop(sink) {
+		return r
+	}
 
 	cl.Bus.Observe(func(f *tt.Frame, _ []tt.FrameStatus) {
 		if !opts.AllFrames && !f.Status.Failed() {
@@ -155,13 +165,13 @@ func Attach(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Injecto
 }
 
 func (r *Recorder) write(e Event) {
-	if r.Err != nil {
+	if r.Err != nil || r.sink == nil {
 		return
 	}
 	if e.Vehicle == 0 {
 		e.Vehicle = r.opts.Vehicle
 	}
-	if err := r.enc.Encode(e); err != nil {
+	if err := r.sink.Record(&e); err != nil {
 		r.Err = err
 		return
 	}

@@ -1,6 +1,11 @@
 #!/bin/sh
-# Repository check: formatting, vet, build, full test suite under the race
-# detector. Fails (non-zero) on any violation, including unformatted files.
+# Repository check: formatting, vet, build, the full test suite, and a
+# race-detector leg over the packages that actually run goroutines (the
+# campaign workers, the warranty daemon, the engine's context lifecycle).
+# Fails (non-zero) on any violation, including unformatted files.
+#
+# The full suite under -race is `make race`; this gate keeps the race leg
+# targeted so a pre-commit run stays fast.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,7 +24,10 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/scenario/... ./internal/warranty/... ./internal/engine/...
 
 echo "OK"

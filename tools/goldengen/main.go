@@ -1,0 +1,26 @@
+// Command goldengen regenerates the engine-parity golden snapshots
+// (internal/engine/testdata): the full E2 and E8 reports under the
+// canonical seed. Run it only when an intentional behaviour change is
+// being made; the golden test exists to catch unintentional ones.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"decos/internal/experiments"
+)
+
+func main() {
+	for _, id := range []string{"E2", "E8"} {
+		r, ok := experiments.ByID(id, 20050404)
+		if !ok {
+			panic(id)
+		}
+		path := "internal/engine/testdata/" + id + "_seed20050404.golden"
+		if err := os.WriteFile(path, []byte(r.String()), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
