@@ -23,11 +23,14 @@ bench:
 	./scripts/bench.sh -short
 	$(GO) test -run 'TestAllocGuard' -v .
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr2.json
+	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr4.json
 
 # Full curated benchmark run (steady-state set at default benchtime plus
-# one-shot E8/E13); pass BASELINE=old.txt to diff against a prior run.
+# one-shot E8/E13); pass BASELINE=old.txt (bench text or a committed
+# BENCH_<pr>.json) to diff against a prior run, GATE=1.10 to fail on
+# regressions beyond the ratio.
 benchfull:
-	./scripts/bench.sh $(if $(BASELINE),-baseline $(BASELINE))
+	./scripts/bench.sh $(if $(BASELINE),-baseline $(BASELINE)) $(if $(GATE),-gate $(GATE))
 
 # Every benchmark in the repository.
 benchall:

@@ -11,12 +11,16 @@
 //
 // With two inputs the report carries before/after pairs plus ns and alloc
 // ratios; -max-ns-ratio makes it a regression gate (non-zero exit when any
-// paired benchmark slowed by more than the factor). -verify parses an
+// paired benchmark slowed by more than the factor). Either input may be a
+// previously emitted JSON report instead of bench text — its recorded
+// measurements become that side of the comparison, so committed
+// BENCH_<pr>.json artifacts chain as baselines. -verify parses an
 // existing report and checks its structure, for CI.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -56,18 +60,22 @@ const schema = "decos-benchcmp/v1"
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-// parseFile reads go-test bench output, returning results keyed by
-// benchmark name (Benchmark prefix and -GOMAXPROCS suffix stripped) and the
-// names in first-seen order.
+// parseFile reads one comparison input: either raw go-test bench output,
+// or a previously emitted decos-benchcmp JSON report — so a committed
+// BENCH_<pr>.json artifact serves directly as the baseline of the next
+// PR's gate. Results are keyed by benchmark name (Benchmark prefix and
+// -GOMAXPROCS suffix stripped), names in first-seen order.
 func parseFile(path string) (map[string]*Result, []string, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer f.Close()
+	if isJSONReport(data) {
+		return parseReport(path, data)
+	}
 	results := make(map[string]*Result)
 	var order []string
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
@@ -91,6 +99,42 @@ func parseFile(path string) (map[string]*Result, []string, error) {
 		results[name] = r // last run wins when a name repeats
 	}
 	return results, order, sc.Err()
+}
+
+// isJSONReport sniffs a report artifact: the first non-space byte of a
+// JSON report is '{'; bench text never starts with one.
+func isJSONReport(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}
+
+// parseReport extracts measurements from an existing JSON report: each
+// entry's "after" measurement (its recorded state), falling back to
+// "before" for entries that only carried a baseline.
+func parseReport(path string, data []byte) (map[string]*Result, []string, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != schema {
+		return nil, nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, schema)
+	}
+	results := make(map[string]*Result)
+	var order []string
+	for _, e := range rep.Entries {
+		r := e.After
+		if r == nil {
+			r = e.Before
+		}
+		if e.Name == "" || r == nil {
+			continue
+		}
+		if _, seen := results[e.Name]; !seen {
+			order = append(order, e.Name)
+		}
+		results[e.Name] = r
+	}
+	return results, order, nil
 }
 
 func verify(path string) error {

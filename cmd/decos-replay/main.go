@@ -3,7 +3,9 @@
 // would start from: the incident inventory, per-FRU symptom totals, the
 // verdict timeline and the trust endpoints (paper Section V-B: off-line
 // analysis of field data informs fault-pattern design). Corrupt lines
-// are skipped and counted rather than aborting the replay.
+// are skipped so the analysis still prints, but each skipped line is
+// reported to stderr with its line number and the replay exits non-zero
+// — a silently damaged field trace must not pass for a clean one.
 //
 // Usage:
 //
@@ -79,9 +81,6 @@ func main() {
 
 	fmt.Printf("trace: %d events spanning %.3fs .. %.3fs\n", total,
 		float64(firstT)/1e6, float64(lastT)/1e6)
-	if n := rd.Corrupt(); n > 0 {
-		fmt.Printf("warning: %d corrupt line(s) skipped\n", n)
-	}
 	if len(vehicles) > 1 {
 		fmt.Printf("vehicles: %d\n", len(vehicles))
 	}
@@ -120,6 +119,22 @@ func main() {
 		for _, s := range sortedKeys(lastTrust) {
 			fmt.Printf("  %-22s %.3f\n", s, lastTrust[s])
 		}
+	}
+
+	// The analysis above still runs on whatever decoded, but corruption is
+	// an error condition: report every retained recovery error (the Reader
+	// keeps line-numbered detail for the first few, including a flag on a
+	// truncated final line) and exit non-zero.
+	if n := rd.Corrupt(); n > 0 {
+		errs := rd.CorruptErrors()
+		fmt.Fprintf(os.Stderr, "decos-replay: %d corrupt line(s) skipped:\n", n)
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "  %v\n", e)
+		}
+		if n > len(errs) {
+			fmt.Fprintf(os.Stderr, "  ... and %d more\n", n-len(errs))
+		}
+		os.Exit(1)
 	}
 }
 

@@ -27,7 +27,9 @@ func main() {
 		sys := scenario.Fig10(uint64(1000+v*13), diagnosis.Options{})
 
 		// Every vehicle ships the same buggy A1 software: a Heisenbug
-		// that sporadically publishes a wild value.
+		// that sporadically publishes a wild value. The fault targets the
+		// A1 job handle, so it is injected on the built system rather
+		// than through an engine manifest.
 		sys.Injector.Heisenbug(sys.Sensor, scenario.ChSpeed, 0.03, 500, false)
 
 		// Three unlucky vehicles also have a worn S2 pressure sensor
@@ -37,7 +39,7 @@ func main() {
 			sys.Injector.SensorStuck(sys.Replicas[1], sim.Time(400*sim.Millisecond), 55)
 		}
 
-		sys.Run(3000)
+		sys.Engine.RunRounds(3000)
 
 		// The vehicle uploads its job-inherent verdicts as field data.
 		for _, verdict := range sys.Diag.Assessor.CurrentAll() {

@@ -15,6 +15,8 @@ import (
 
 	"decos/internal/core"
 	"decos/internal/diagnosis"
+	"decos/internal/engine"
+	"decos/internal/faults"
 	"decos/internal/maintenance"
 	"decos/internal/scenario"
 	"decos/internal/sim"
@@ -27,15 +29,25 @@ func main() {
 	decosShop()
 }
 
+// faultyCar builds the Fig. 10 vehicle with its fretting connector
+// declared in the engine's fault manifest.
+func faultyCar() (*scenario.System, *faults.Activation) {
+	var act *faults.Activation
+	sys := scenario.Fig10With(101, diagnosis.Options{},
+		engine.WithFaults(func(inj *faults.Injector) {
+			act = inj.ConnectorTx(0, sim.Time(100*sim.Millisecond), 0, 0.3)
+		}))
+	return sys, act
+}
+
 func drive(sys *scenario.System, rounds int64) int {
 	before := sys.Diag.Assessor.SymptomsReceived
-	sys.Run(rounds)
+	sys.Engine.RunRounds(rounds)
 	return sys.Diag.Assessor.SymptomsReceived - before
 }
 
 func conventional() {
-	sys := scenario.Fig10(101, diagnosis.Options{})
-	act := sys.Injector.ConnectorTx(0, sim.Time(100*sim.Millisecond), 0, 0.3)
+	sys, act := faultyCar()
 	bad := drive(sys, 3000)
 	fmt.Printf("customer complaint: spurious malfunctions (%d deviations observed on the bus)\n", bad)
 
@@ -57,8 +69,7 @@ func conventional() {
 }
 
 func decosShop() {
-	sys := scenario.Fig10(101, diagnosis.Options{})
-	act := sys.Injector.ConnectorTx(0, sim.Time(100*sim.Millisecond), 0, 0.3)
+	sys, act := faultyCar()
 	bad := drive(sys, 3000)
 	fmt.Printf("customer complaint: spurious malfunctions (%d deviations observed on the bus)\n", bad)
 

@@ -1,6 +1,8 @@
-// Quickstart: build a minimal DECOS cluster from scratch, inject a
-// connector fault, and let the integrated diagnostic architecture classify
-// it and derive the maintenance action.
+// Quickstart: assemble a minimal DECOS cluster through the run engine,
+// inject a connector fault, and let the integrated diagnostic
+// architecture classify it and derive the maintenance action. A second
+// engine swaps the classification stage for the OBD baseline to show the
+// same pipeline running a different diagnoser.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -11,33 +13,27 @@ import (
 	"decos/internal/component"
 	"decos/internal/core"
 	"decos/internal/diagnosis"
+	"decos/internal/engine"
 	"decos/internal/faults"
 	"decos/internal/sim"
-	"decos/internal/tt"
 	"decos/internal/vnet"
 )
 
-func main() {
-	// 1. The time-triggered core: three components, one TDMA slot each,
-	//    250 µs slots (a 750 µs round), 128-byte frames.
-	cfg := tt.UniformSchedule(3, 250*sim.Microsecond, 128)
-	cl := component.NewCluster(cfg, 42)
+const chTemp vnet.ChannelID = 1
 
+// buildClimate populates the topology: a temperature sensor publishing
+// on a time-triggered virtual network, a consumer displaying it.
+func buildClimate(cl *component.Cluster) {
 	c0 := cl.AddComponent(0, "sensor-node", 0, 0)
 	c1 := cl.AddComponent(1, "control-node", 1, 0)
-	c2 := cl.AddComponent(2, "diag-node", 2, 0)
-	_ = c2
+	cl.AddComponent(2, "diag-node", 2, 0)
 
-	// 2. One distributed application subsystem: a temperature sensor
-	//    publishing on a time-triggered virtual network, a consumer
-	//    displaying it.
 	cl.Env.DefineSine("temperature", 15, 500*sim.Millisecond, 20)
 
 	das := cl.AddDAS("climate", component.NonSafetyCritical)
 	net := cl.AddNetwork(das, "climate.tt", vnet.TimeTriggered)
 	net.AddEndpoint(0, 32, 0)
 
-	const chTemp vnet.ChannelID = 1
 	sensor := cl.AddJob(das, c0, "temp-sensor", 0,
 		&component.SensorJob{Signal: "temperature", Out: chTemp})
 	display := cl.AddJob(das, c1, "display", 0, component.JobFunc(func(ctx *component.Context) {
@@ -50,30 +46,58 @@ func main() {
 		MaxAgeRounds: 3, StuckRounds: 50, Sensor: true,
 	})
 	cl.Subscribe(display, chTemp, 0, true)
+}
 
-	// 3. Attach the integrated diagnostic architecture (monitors on every
-	//    component, virtual diagnostic network, assessor on component 2).
-	diag := diagnosis.Attach(cl, 2, diagnosis.Options{})
-	if err := cl.Start(); err != nil {
-		panic(err)
-	}
-
-	// 4. Inject a fretting connector on the sensor node: 30 % of its
-	//    frames are lost at arbitrary instants.
-	inj := faults.NewInjector(cl)
-	act := inj.ConnectorTx(0, sim.Time(100*sim.Millisecond), 0, 0.3)
+func main() {
+	// 1. One engine configuration replaces the hand-rolled wiring: the
+	//    time-triggered core (three components, 250 µs slots, 128-byte
+	//    frames), the topology hook, the diagnostic DAS on component 2,
+	//    and a fault manifest — a fretting connector on the sensor node
+	//    losing 30 % of its frames at arbitrary instants.
+	var act *faults.Activation
+	eng := engine.MustNew(
+		engine.WithTopology(3, 250*sim.Microsecond, 128),
+		engine.WithSeed(42),
+		engine.WithBuild(buildClimate),
+		engine.WithDiagnosis(2, diagnosis.Options{}),
+		engine.WithFaults(func(inj *faults.Injector) {
+			act = inj.ConnectorTx(0, sim.Time(100*sim.Millisecond), 0, 0.3)
+		}),
+	)
 	fmt.Println("injected:", act)
 
-	// 5. Run three simulated seconds and read the verdict.
-	cl.RunRounds(4000)
+	// 2. Run three simulated seconds and read the verdict.
+	eng.RunRounds(4000)
 
-	v, ok := diag.VerdictOf(core.HardwareFRU(0))
+	v, ok := eng.Diag.VerdictOf(core.HardwareFRU(0))
 	if !ok {
 		fmt.Println("no verdict — the fault went undetected")
 		return
 	}
 	fmt.Printf("diagnosed: %s (pattern %q, confidence %.2f)\n", v.Class, v.Pattern, v.Confidence)
 	fmt.Printf("maintenance action: %s\n", v.Action)
-	fmt.Printf("trust level of %v: %.3f\n", v.FRU, float64(diag.TrustOf(core.HardwareFRU(0))))
+	fmt.Printf("trust level of %v: %.3f\n", v.FRU, float64(eng.Diag.TrustOf(core.HardwareFRU(0))))
 	fmt.Printf("ground truth was: %s → correct=%v\n", act.Class, act.Class.Matches(v.Class))
+
+	// 3. Diagnoser selection: the same engine configuration with the OBD
+	//    baseline as the pipeline's classification stage. The collector
+	//    and adviser stages are identical — only the classifier differs —
+	//    and the crude DTC rule misses the short intermittent entirely.
+	obdEng := engine.MustNew(
+		engine.WithTopology(3, 250*sim.Microsecond, 128),
+		engine.WithSeed(42),
+		engine.WithBuild(buildClimate),
+		engine.WithDiagnosis(2, diagnosis.Options{}),
+		engine.WithOBDClassifier(),
+		engine.WithFaults(func(inj *faults.Injector) {
+			inj.ConnectorTx(0, sim.Time(100*sim.Millisecond), 0, 0.3)
+		}),
+	)
+	obdEng.RunRounds(4000)
+	fmt.Printf("\nsame fault through the %s classifier: ", obdEng.Diag.Assessor.Classifier().Name())
+	if ov, ok := obdEng.Diag.VerdictOf(core.HardwareFRU(0)); ok {
+		fmt.Printf("%s → %s\n", ov.Class, ov.Action)
+	} else {
+		fmt.Println("no verdict — the intermittent never crosses the 500 ms DTC threshold")
+	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"decos/internal/core"
 	"decos/internal/diagnosis"
+	"decos/internal/engine"
 	"decos/internal/faults"
 	"decos/internal/maintenance"
 	"decos/internal/scenario"
@@ -21,24 +22,25 @@ import (
 )
 
 func main() {
-	sys := scenario.Fig10(11, diagnosis.Options{})
+	// Both ageing processes are declared up front in the engine's fault
+	// manifest. Component 0 wears out: transient episodes whose rate
+	// grows exponentially (doubling roughly every 350 ms of simulated
+	// time — compressed from years to seconds so the run stays short),
+	// plus a slow output drift toward the spec boundary. Component 2 is
+	// healthy but sits in an EMI-exposed location.
+	sys := scenario.Fig10With(11, diagnosis.Options{},
+		engine.WithFaults(func(inj *faults.Injector) {
+			acc := faults.WearoutAcceleration{
+				Onset:           sim.Time(400 * sim.Millisecond),
+				Tau:             500 * sim.Millisecond,
+				BaseRatePerHour: 3600 * 4,
+				MaxFactor:       40,
+			}
+			inj.Wearout(0, acc, 3600*20)
+			inj.EMIBurst(sim.Time(800*sim.Millisecond), 5.5, 0, 1.2, 10*sim.Millisecond, 4)
+		}))
 
-	// Component 0 wears out: transient episodes whose rate grows
-	// exponentially (doubling roughly every 350 ms of simulated time —
-	// compressed from years to seconds so the run stays short), plus a
-	// slow output drift toward the spec boundary.
-	acc := faults.WearoutAcceleration{
-		Onset:           sim.Time(400 * sim.Millisecond),
-		Tau:             500 * sim.Millisecond,
-		BaseRatePerHour: 3600 * 4,
-		MaxFactor:       40,
-	}
-	sys.Injector.Wearout(0, acc, 3600*20)
-
-	// Component 2 is healthy but sits in an EMI-exposed location.
-	sys.Injector.EMIBurst(sim.Time(800*sim.Millisecond), 5.5, 0, 1.2, 10*sim.Millisecond, 4)
-
-	sys.Run(4000)
+	sys.Engine.RunRounds(4000)
 
 	hwA, _ := sys.Diag.Reg.HardwareIndex(0)
 	hwB, _ := sys.Diag.Reg.HardwareIndex(2)

@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"decos/internal/core"
+	"decos/internal/diagnosis"
+	"decos/internal/tt"
+)
+
+// OBD plugs into the staged assessment pipeline as its classification
+// stage: the collector and adviser stages (and their trace attach
+// points) run unchanged over conventional DTC classification.
+var _ diagnosis.Classifier = (*OBD)(nil)
+
+// Name implements diagnosis.Classifier.
+func (o *OBD) Name() string { return "obd" }
+
+// Classify implements diagnosis.Classifier with the conventional rule:
+// every FRU whose hosting ECU has a stored DTC is concluded
+// component-internal — OBD cannot localize below the ECU, so software
+// FRUs on a coded ECU are swept into the same replacement verdict. The
+// fixed confidence reflects that OBD carries no notion of one.
+func (o *OBD) Classify(ctx *diagnosis.EvalContext) []diagnosis.Finding {
+	o.findings = o.findings[:0]
+	for i := 0; i < ctx.Reg.Len(); i++ {
+		idx := diagnosis.FRUIndex(i)
+		if !o.HasDTC(tt.NodeID(ctx.Reg.FRU(idx).Component)) {
+			continue
+		}
+		ctx.Decided[idx] = core.ComponentInternal
+		o.findings = append(o.findings, diagnosis.Finding{
+			Subject:     idx,
+			Class:       core.ComponentInternal,
+			Persistence: core.Permanent,
+			Pattern:     "dtc",
+			Confidence:  0.5,
+		})
+	}
+	return o.findings
+}
+
+// Advise implements the conventional workshop strategy — replace every
+// ECU with a stored DTC; anything without a DTC yields no finding — by
+// routing the DTC classification through the shared Fig. 11 action
+// derivation, the same rule the pipeline's adviser stage applies.
+// Software FRUs are invisible to OBD: their faults surface (if at all)
+// as plausibility DTCs against the hosting ECU.
+func (o *OBD) Advise(f core.FRU) (core.MaintenanceAction, core.FaultClass, bool) {
+	if !o.HasDTC(tt.NodeID(f.Component)) {
+		return core.ActionNone, core.ClassUnknown, false
+	}
+	class, action := diagnosis.DeriveAction(core.ComponentInternal, false)
+	return action, class, true
+}

@@ -13,7 +13,7 @@ import (
 	"sort"
 
 	"decos/internal/component"
-	"decos/internal/core"
+	"decos/internal/diagnosis"
 	"decos/internal/sim"
 	"decos/internal/tt"
 	"decos/internal/vnet"
@@ -55,6 +55,9 @@ type OBD struct {
 	watched []watchedPort
 
 	dtcs map[tt.NodeID]map[string]*DTC
+
+	// findings is the classification stage's reused output buffer.
+	findings []diagnosis.Finding
 }
 
 type watchedPort struct {
@@ -196,15 +199,3 @@ func (o *OBD) HasDTC(n tt.NodeID) bool { return len(o.dtcs[n]) > 0 }
 // Clear erases the component's stored codes — the workshop clears DTC
 // memory after a service, whether or not the service fixed anything.
 func (o *OBD) Clear(n tt.NodeID) { delete(o.dtcs, n) }
-
-// Advise implements the conventional workshop strategy: replace every ECU
-// with a stored DTC; anything without a DTC yields no finding. Software
-// FRUs are invisible to OBD — their faults surface (if at all) as
-// plausibility DTCs against the hosting ECU.
-func (o *OBD) Advise(f core.FRU) (core.MaintenanceAction, core.FaultClass, bool) {
-	n := tt.NodeID(f.Component)
-	if o.HasDTC(n) {
-		return core.ActionReplaceComponent, core.ComponentInternal, true
-	}
-	return core.ActionNone, core.ClassUnknown, false
-}

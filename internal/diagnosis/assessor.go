@@ -155,60 +155,43 @@ type TrustPoint struct {
 	Trust   core.TrustLevel
 }
 
-// Assessor is the analysis stage of the diagnostic DAS: it consumes the
-// symptom stream from the virtual diagnostic network, maintains the
-// distributed-state history, α-counts and per-FRU trust levels, and
-// evaluates the ONA suite at every assessment epoch.
+// Assessor is the analysis stage of the diagnostic DAS, assembled as the
+// explicit three-stage evidence pipeline of Fig. 9–11: the embedded
+// Collector ingests the symptom stream from the virtual diagnostic
+// network into the distributed-state history, the Classifier concludes
+// per-FRU findings at every assessment epoch, and the embedded Adviser
+// derives maintenance actions and maintains per-FRU trust trajectories.
+// The hand-offs are typed — swap the classification stage (SetClassifier,
+// engine.WithClassifier) and the same collector and adviser, including
+// their trace attach points, run a different diagnoser.
 type Assessor struct {
-	Reg   *Registry
-	Hist  *History
+	Reg *Registry
+	*Collector
+	*Adviser
+
+	// Alpha and SW are the recurrence counters handed to the classifier
+	// through the evaluation context: hardware FRUs score frame-level
+	// evidence, software FRUs value-domain evidence.
 	Alpha *AlphaCount
 	SW    *AlphaCount
 
-	onas []ONA
-	opts Options
-
-	ports []*vnet.InPort
-
-	trust     map[FRUIndex]float64
-	trustHist map[FRUIndex][]TrustPoint
-	current   map[FRUIndex]Verdict
-	emitted   []Verdict
-	epoch     int64
-
-	// Epoch evaluation scratch, reused every epoch: the context (and its
-	// ONA scratch), the per-epoch finding map and the subject sort buffer.
-	evalCtx     *EvalContext
-	decided     map[FRUIndex]Finding
-	subjectsBuf []FRUIndex
-
-	// SymptomsReceived counts decoded symptom records.
-	SymptomsReceived int
-	// DecodeFailures counts undecodable diagnostic messages (corrupted
-	// diagnostic traffic).
-	DecodeFailures int
-
-	symptomHooks []func(Symptom)
+	classifier Classifier
+	opts       Options
+	evalCtx    *EvalContext
 }
 
-// OnSymptom registers a callback invoked for every ingested symptom (trace
-// recording, live dashboards).
-func (a *Assessor) OnSymptom(f func(Symptom)) { a.symptomHooks = append(a.symptomHooks, f) }
-
-// NewAssessor creates an assessor over the given registry.
+// NewAssessor creates an assessor over the given registry, wired as the
+// default DECOS pipeline (fault-model classifier).
 func NewAssessor(reg *Registry, opts Options) *Assessor {
 	opts = opts.withDefaults()
 	a := &Assessor{
-		Reg:       reg,
-		Hist:      NewHistory(opts.RetainGranules),
-		Alpha:     NewAlphaCount(opts.AlphaK, opts.AlphaThreshold),
-		SW:        NewAlphaCount(opts.AlphaK, opts.AlphaThreshold),
-		onas:      DefaultONAs(),
-		opts:      opts,
-		trust:     make(map[FRUIndex]float64),
-		trustHist: make(map[FRUIndex][]TrustPoint),
-		current:   make(map[FRUIndex]Verdict),
-		decided:   make(map[FRUIndex]Finding),
+		Reg:        reg,
+		Collector:  NewCollector(opts.RetainGranules),
+		Adviser:    NewAdviser(reg, opts),
+		Alpha:      NewAlphaCount(opts.AlphaK, opts.AlphaThreshold),
+		SW:         NewAlphaCount(opts.AlphaK, opts.AlphaThreshold),
+		classifier: NewFaultModelClassifier(),
+		opts:       opts,
 	}
 	a.evalCtx = &EvalContext{
 		Hist:      a.Hist,
@@ -220,47 +203,28 @@ func NewAssessor(reg *Registry, opts Options) *Assessor {
 		Explained: make(map[FRUIndex]bool),
 		Decided:   make(map[FRUIndex]core.FaultClass),
 	}
-	for i := 0; i < reg.Len(); i++ {
-		a.trust[FRUIndex(i)] = 1
-	}
 	return a
 }
 
 // Options returns the effective (defaulted) options.
 func (a *Assessor) Options() Options { return a.opts }
 
-// Ingest adds one symptom to the distributed state (used directly by tests
-// and by the fast-path campaign driver; the attached cluster path goes
-// through the diagnostic network ports).
-func (a *Assessor) Ingest(s Symptom) {
-	a.Hist.Add(s)
-	a.SymptomsReceived++
-	for _, f := range a.symptomHooks {
-		f(s)
+// SetClassifier swaps the pipeline's classification stage (nil restores
+// the DECOS fault-model classifier). Call it before the first assessment
+// epoch runs.
+func (a *Assessor) SetClassifier(c Classifier) {
+	if c == nil {
+		c = NewFaultModelClassifier()
 	}
+	a.classifier = c
 }
 
-// drainPorts decodes everything queued on the diagnostic in-ports.
-func (a *Assessor) drainPorts() {
-	for _, p := range a.ports {
-		for {
-			m, ok := p.Receive()
-			if !ok {
-				break
-			}
-			s, ok := DecodeSymptom(m.Payload)
-			if !ok {
-				a.DecodeFailures++
-				continue
-			}
-			a.Ingest(s)
-		}
-	}
-}
+// Classifier returns the active classification stage.
+func (a *Assessor) Classifier() Classifier { return a.classifier }
 
 // onRound is invoked once per TDMA round by the attached cluster.
 func (a *Assessor) onRound(round int64, now sim.Time) {
-	a.drainPorts()
+	a.Drain()
 	if (round+1)%a.opts.EpochRounds == 0 {
 		a.evaluateEpoch(round, now)
 	}
@@ -272,178 +236,19 @@ func (a *Assessor) EvaluateNow(granule int64, now sim.Time) {
 	a.evaluateEpoch(granule, now)
 }
 
+// evaluateEpoch runs one classify → advise pass over the collected state.
 func (a *Assessor) evaluateEpoch(granule int64, now sim.Time) {
-	a.epoch++
 	ctx := a.evalCtx
 	ctx.Granule = granule
 	clear(ctx.Explained)
 	clear(ctx.Decided)
-
-	decided := a.decided
-	clear(decided)
-	// Gating assertions first: spatial correlation (massive transient)
-	// and receiver-side connector attribution. Both also gate the α-count
-	// update, so symptoms they explain do not accumulate as recurrence
-	// evidence against the FRUs they name.
-	for _, ona := range a.onas[:GatingONAs] {
-		for _, f := range ona.Evaluate(ctx) {
-			if _, dup := decided[f.Subject]; dup {
-				continue
-			}
-			decided[f.Subject] = f
-			ctx.Explained[f.Subject] = true
-			ctx.Decided[f.Subject] = f.Class
-			for _, e := range f.Explains {
-				if _, dup := decided[e]; !dup {
-					ctx.Explained[e] = true
-				}
-			}
-		}
-	}
-
-	// α-count step over this epoch's evidence.
-	epochFrom := granule - a.opts.EpochRounds + 1
-	if epochFrom < 0 {
-		epochFrom = 0
-	}
-	for _, hw := range a.Reg.HardwareFRUs() {
-		erroneous := !ctx.Explained[hw] && a.Hist.Count(hw, epochFrom, granule, frameLevel) > 0
-		a.Alpha.Step(hw, erroneous, 1)
-	}
-	for _, sw := range a.Reg.SoftwareFRUs() {
-		erroneous := a.Hist.Count(sw, epochFrom, granule, valueViolation) > 0
-		a.SW.Step(sw, erroneous, 1)
-	}
-
-	// Remaining assertions in priority order.
-	for _, ona := range a.onas[GatingONAs:] {
-		for _, f := range ona.Evaluate(ctx) {
-			if _, dup := decided[f.Subject]; dup || ctx.Explained[f.Subject] {
-				continue
-			}
-			decided[f.Subject] = f
-			ctx.Decided[f.Subject] = f.Class
-			for _, e := range f.Explains {
-				if _, dup := decided[e]; !dup {
-					ctx.Explained[e] = true
-				}
-			}
-		}
-	}
-
-	// Emit verdicts (deterministic order).
-	subjects := a.subjectsBuf[:0]
-	for s := range decided {
-		subjects = append(subjects, s)
-	}
-	for i := 1; i < len(subjects); i++ {
-		for j := i; j > 0 && subjects[j] < subjects[j-1]; j-- {
-			subjects[j], subjects[j-1] = subjects[j-1], subjects[j]
-		}
-	}
-	a.subjectsBuf = subjects[:0]
-	for _, s := range subjects {
-		f := decided[s]
-		fru := a.Reg.FRU(s)
-		update := false
-		if a.opts.UpdateAvailable != nil {
-			update = a.opts.UpdateAvailable(fru)
-		}
-		// The merged inherent verdict consults the software-update flag
-		// too: with an acknowledged update the software subclass is
-		// implied.
-		actionClass := f.Class
-		if f.Class == core.JobInherent && update {
-			actionClass = core.JobInherentSoftware
-		}
-		v := Verdict{
-			Epoch:       a.epoch,
-			At:          now,
-			Subject:     s,
-			FRU:         fru,
-			Class:       f.Class,
-			Persistence: f.Persistence,
-			Pattern:     f.Pattern,
-			Confidence:  f.Confidence,
-			Action:      core.ActionFor(actionClass, update),
-		}
-		prev, had := a.current[s]
-		a.current[s] = v
-		if !had || prev.Class != v.Class || prev.Pattern != v.Pattern {
-			a.emitted = append(a.emitted, v)
-		}
-	}
-
-	a.updateTrust(decided, granule, now, epochFrom)
+	a.Adviser.Advance(ctx, a.classifier.Classify(ctx), now)
 }
-
-func (a *Assessor) updateTrust(decided map[FRUIndex]Finding, granule int64, now sim.Time, epochFrom int64) {
-	for i := 0; i < a.Reg.Len(); i++ {
-		f := FRUIndex(i)
-		var weight int
-		if a.Reg.IsHardware(f) {
-			weight = a.Hist.Count(f, epochFrom, granule, frameLevel)
-		} else {
-			weight = a.Hist.Count(f, epochFrom, granule, trustValueKinds)
-		}
-		t := a.trust[f]
-		if weight == 0 {
-			t += 0.1 * (1 - t)
-		} else {
-			sev := float64(weight) / 20
-			if sev > 1 {
-				sev = 1
-			}
-			impact := 0.35
-			if v, ok := decided[f]; ok && v.Class == core.ComponentExternal {
-				impact = 0.12 // external hits erode confidence only briefly
-			}
-			t -= impact * sev
-		}
-		t = float64(core.TrustLevel(t).Clamp())
-		a.trust[f] = t
-		a.trustHist[f] = append(a.trustHist[f], TrustPoint{At: now, Granule: granule, Trust: core.TrustLevel(t)})
-	}
-}
-
-// Trust returns the FRU's current trust level.
-func (a *Assessor) Trust(f FRUIndex) core.TrustLevel {
-	return core.TrustLevel(a.trust[f])
-}
-
-// TrustHistory returns the FRU's trust trajectory, one point per epoch.
-func (a *Assessor) TrustHistory(f FRUIndex) []TrustPoint { return a.trustHist[f] }
-
-// Current returns the FRU's standing verdict.
-func (a *Assessor) Current(f FRUIndex) (Verdict, bool) {
-	v, ok := a.current[f]
-	return v, ok
-}
-
-// CurrentAll returns the standing verdict of every FRU that has one, in
-// subject order.
-func (a *Assessor) CurrentAll() []Verdict {
-	var out []Verdict
-	for i := 0; i < a.Reg.Len(); i++ {
-		if v, ok := a.current[FRUIndex(i)]; ok {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-// Emitted returns every verdict emission (first classifications and class
-// changes) in order.
-func (a *Assessor) Emitted() []Verdict { return a.emitted }
-
-// Epoch returns the number of completed assessment epochs.
-func (a *Assessor) Epoch() int64 { return a.epoch }
 
 // ClearVerdict forgets the FRU's verdict and resets its recurrence scores
 // (after a repair action).
 func (a *Assessor) ClearVerdict(f FRUIndex) {
-	delete(a.current, f)
+	a.Forget(f)
 	a.Alpha.Reset(f)
 	a.SW.Reset(f)
-	a.trust[f] = 1
 }

@@ -44,7 +44,7 @@ func Attach(cl *component.Cluster, diagNode tt.NodeID, opts Options) *Diagnostic
 	assessor := NewAssessor(reg, opts)
 	for _, c := range comps {
 		ch := opts.DiagChannelBase + vnet.ChannelID(c.ID)
-		assessor.ports = append(assessor.ports, cl.Fabric.Subscribe(diagNode, ch, 0, false))
+		assessor.Subscribe(cl.Fabric.Subscribe(diagNode, ch, 0, false))
 	}
 
 	d := &Diagnostics{

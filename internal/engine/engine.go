@@ -57,15 +57,17 @@ type Config struct {
 	SlotBytes int
 	Seed      uint64
 
-	clocks    *ClockSpec
-	build     []func(cl *component.Cluster)
-	diagNode  tt.NodeID
-	diagOpts  diagnosis.Options
-	withDiag  bool
-	withOBD   bool
-	manifest  []func(inj *faults.Injector)
-	sink      trace.Sink
-	traceOpts trace.Options
+	clocks        *ClockSpec
+	build         []func(cl *component.Cluster)
+	diagNode      tt.NodeID
+	diagOpts      diagnosis.Options
+	withDiag      bool
+	withOBD       bool
+	classifier    diagnosis.Classifier
+	obdClassifier bool
+	manifest      []func(inj *faults.Injector)
+	sink          trace.Sink
+	traceOpts     trace.Options
 }
 
 // Option configures an Engine build.
@@ -114,6 +116,21 @@ func WithOBD() Option {
 	return func(c *Config) { c.withOBD = true }
 }
 
+// WithClassifier swaps the classification stage of the diagnostic
+// pipeline (default: the DECOS fault-model classifier). The collector
+// and adviser stages run unchanged around it. Requires WithDiagnosis.
+func WithClassifier(cls diagnosis.Classifier) Option {
+	return func(c *Config) { c.classifier = cls }
+}
+
+// WithOBDClassifier attaches the OBD baseline (as WithOBD does) and
+// selects it as the diagnostic pipeline's classification stage, so the
+// engine's diagnoser runs conventional DTC classification through the
+// shared collector/adviser pipeline. Requires WithDiagnosis.
+func WithOBDClassifier() Option {
+	return func(c *Config) { c.withOBD, c.obdClassifier = true, true }
+}
+
 // WithFaults registers a fault-manifest hook invoked with the cluster's
 // injector once the cluster is started — the declarative home for
 // scripted injections. Hooks run in registration order.
@@ -148,8 +165,9 @@ type Engine struct {
 
 // New assembles and starts a cluster from the given options. The build
 // pipeline is fixed — schedule, cluster, clocks, topology hooks,
-// diagnosis, OBD, trace, seal/start, injector, fault manifest — so every
-// consumer constructs byte-identical systems for identical options.
+// diagnosis, OBD, classifier selection, trace, seal/start, injector,
+// fault manifest — so every consumer constructs byte-identical systems
+// for identical options.
 func New(opts ...Option) (*Engine, error) {
 	var cfg Config
 	for _, o := range opts {
@@ -178,6 +196,16 @@ func New(opts ...Option) (*Engine, error) {
 	}
 	if cfg.withOBD {
 		e.OBD = baseline.Attach(cl)
+	}
+	if cfg.classifier != nil || cfg.obdClassifier {
+		if e.Diag == nil {
+			return nil, fmt.Errorf("engine: classifier options require WithDiagnosis")
+		}
+		cls := cfg.classifier
+		if cfg.obdClassifier {
+			cls = e.OBD
+		}
+		e.Diag.Assessor.SetClassifier(cls)
 	}
 	e.Injector = faults.NewInjector(cl)
 	if !trace.IsNop(cfg.sink) {

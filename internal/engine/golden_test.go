@@ -8,14 +8,14 @@ import (
 	"decos/internal/experiments"
 )
 
-// TestGoldenExperimentSnapshots pins E2 and E8 under the canonical seed to
+// TestGoldenExperimentSnapshots pins E2, E8 and E13 under the canonical seed to
 // byte-identical snapshots captured before the engine refactor: the run
 // engine must assemble exactly the system the hand-rolled wiring did.
 // Regenerate deliberately with `go run ./tools/goldengen` after a change
 // that intends to alter results.
 func TestGoldenExperimentSnapshots(t *testing.T) {
 	const seed = 20050404
-	for _, id := range []string{"E2", "E8"} {
+	for _, id := range []string{"E2", "E8", "E13"} {
 		t.Run(id, func(t *testing.T) {
 			want, err := os.ReadFile(filepath.Join("testdata", id+"_seed20050404.golden"))
 			if err != nil {

@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"decos/internal/core"
+)
+
+func TestRelevant(t *testing.T) {
+	for _, c := range []core.FaultClass{core.JobInherent, core.JobInherentSoftware, core.JobInherentSensor} {
+		if !Relevant(c) {
+			t.Errorf("Relevant(%v) = false, want true", c)
+		}
+	}
+	for _, c := range []core.FaultClass{
+		core.ClassUnknown, core.ComponentExternal, core.ComponentBorderline,
+		core.ComponentInternal, core.JobExternal, core.JobBorderline,
+	} {
+		if Relevant(c) {
+			t.Errorf("Relevant(%v) = true, want false", c)
+		}
+	}
+}
+
+func TestTallyObserve(t *testing.T) {
+	ta := NewTally()
+	if ta.Incidents() != 0 || ta.Jobs() != 0 {
+		t.Fatalf("empty tally: incidents=%d jobs=%d", ta.Incidents(), ta.Jobs())
+	}
+	ta.Observe(1, "A/A1")
+	ta.Observe(2, "A/A1")
+	ta.Observe(2, "A/A1") // repeat incident, same vehicle
+	ta.Observe(3, "S/S2")
+	if got := ta.Incidents(); got != 4 {
+		t.Errorf("Incidents = %d, want 4", got)
+	}
+	if got := ta.Jobs(); got != 2 {
+		t.Errorf("Jobs = %d, want 2", got)
+	}
+}
+
+func TestTallyMerge(t *testing.T) {
+	shard1 := NewTally()
+	shard1.Observe(1, "A/A1")
+	shard1.Observe(2, "A/A1")
+	shard2 := NewTally()
+	shard2.Observe(2, "A/A1") // vehicle 2 also seen on shard 1
+	shard2.Observe(3, "S/S2")
+
+	merged := NewTally()
+	merged.Merge(shard1)
+	merged.Merge(shard2)
+
+	if got := merged.Incidents(); got != 4 {
+		t.Errorf("merged Incidents = %d, want 4", got)
+	}
+	stats := merged.Analyze(10, 0.25)
+	if len(stats) != 2 {
+		t.Fatalf("Analyze returned %d jobs, want 2", len(stats))
+	}
+	// A/A1: vehicles {1,2} — the distinct-vehicle set deduplicates across
+	// shards. S/S2: vehicle {3}.
+	if stats[0].Job != "A/A1" || stats[0].Vehicles != 2 {
+		t.Errorf("top job = %+v, want A/A1 with 2 vehicles", stats[0])
+	}
+	if stats[1].Job != "S/S2" || stats[1].Vehicles != 1 {
+		t.Errorf("second job = %+v, want S/S2 with 1 vehicle", stats[1])
+	}
+}
+
+func TestTallyAnalyzeThreshold(t *testing.T) {
+	ta := NewTally()
+	for v := 0; v < 8; v++ {
+		ta.Observe(v, "A/A1") // 8 of 10 vehicles: systematic
+	}
+	ta.Observe(0, "S/S2") // 1 of 10: vehicle-local
+
+	stats := ta.Analyze(10, 0.3)
+	if !stats[0].Systematic {
+		t.Errorf("A/A1 at 80%% share not flagged systematic: %+v", stats[0])
+	}
+	if math.Abs(stats[0].Share-0.8) > 1e-12 {
+		t.Errorf("A/A1 share = %v, want 0.8", stats[0].Share)
+	}
+	if stats[1].Systematic {
+		t.Errorf("S/S2 at 10%% share flagged systematic: %+v", stats[1])
+	}
+}
+
+func TestTallyPareto(t *testing.T) {
+	if got := NewTally().Pareto(0.2); got != 0 {
+		t.Errorf("empty Pareto = %v, want 0", got)
+	}
+
+	// Ten jobs; the two hottest carry 80 of 100 incidents — the paper's
+	// 20-80 observation: Pareto(0.2) = 0.8.
+	ta := NewTally()
+	counts := []int{50, 30, 5, 4, 3, 3, 2, 1, 1, 1}
+	for j, n := range counts {
+		for i := 0; i < n; i++ {
+			ta.Observe(i, "job"+string(rune('A'+j)))
+		}
+	}
+	if got := ta.Pareto(0.2); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Pareto(0.2) = %v, want 0.8", got)
+	}
+	// The full set always covers everything.
+	if got := ta.Pareto(1.0); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("Pareto(1.0) = %v, want 1.0", got)
+	}
+}

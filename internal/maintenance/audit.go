@@ -161,11 +161,11 @@ func nff(truth core.FaultClass, action core.MaintenanceAction) bool {
 // advisor about the culprit (or, for external faults, the affected FRUs)
 // and judge the result.
 func Evaluate(ledger []*faults.Activation, adv Advisor) *Report {
-	r := &Report{Confusion: make(map[core.FaultClass]map[core.FaultClass]int)}
+	audit := ArmAudit{Report: Report{Confusion: make(map[core.FaultClass]map[core.FaultClass]int)}}
 	for _, a := range ledger {
-		r.Record(auditOne(a, adv))
+		audit.Audit(a, adv)
 	}
-	return r
+	return &audit.Report
 }
 
 // Record accumulates one audited outcome into the report's counters and

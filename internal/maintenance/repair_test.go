@@ -1,0 +1,90 @@
+package maintenance
+
+import (
+	"testing"
+
+	"decos/internal/core"
+	"decos/internal/faults"
+)
+
+// TestRepairs pins the ground-truth repair table: for every true fault
+// class, exactly the Fig. 11 action eliminates the fault (external faults
+// excepted — they are transient and need no repair).
+func TestRepairs(t *testing.T) {
+	actions := []core.MaintenanceAction{
+		core.ActionNone,
+		core.ActionInspectConnector,
+		core.ActionReplaceComponent,
+		core.ActionUpdateConfiguration,
+		core.ActionUpdateSoftware,
+		core.ActionForwardToOEM,
+		core.ActionInspectTransducer,
+	}
+	// fixing[truth] is the set of actions that repair a fault of that
+	// class; an absent entry means every action "repairs" it.
+	fixing := map[core.FaultClass][]core.MaintenanceAction{
+		core.ComponentBorderline: {core.ActionInspectConnector},
+		core.ComponentInternal:   {core.ActionReplaceComponent},
+		core.JobExternal:         {core.ActionReplaceComponent},
+		core.JobBorderline:       {core.ActionUpdateConfiguration},
+		core.JobInherentSoftware: {core.ActionUpdateSoftware},
+		core.JobInherentSensor:   {core.ActionInspectTransducer},
+	}
+	for truth, fixes := range fixing {
+		for _, action := range actions {
+			want := false
+			for _, fix := range fixes {
+				if action == fix {
+					want = true
+				}
+			}
+			if got := Repairs(action, truth); got != want {
+				t.Errorf("Repairs(%v, %v) = %v, want %v", action, truth, got, want)
+			}
+		}
+	}
+	for _, action := range actions {
+		if !Repairs(action, core.ComponentExternal) {
+			t.Errorf("Repairs(%v, ComponentExternal) = false, want true (external faults are transient)", action)
+		}
+	}
+	// The merged job-inherent verdict is a diagnosis, never ground truth:
+	// no action counts as a repair for it.
+	for _, action := range actions {
+		if Repairs(action, core.JobInherent) {
+			t.Errorf("Repairs(%v, JobInherent) = true, want false (not a ground-truth class)", action)
+		}
+	}
+}
+
+// TestApply: the correct action deactivates the activation (the customer's
+// malfunction ends); a wrong action leaves the fault in the system.
+func TestApply(t *testing.T) {
+	a := &faults.Activation{Class: core.ComponentBorderline}
+	if Apply(a, core.ActionReplaceComponent) {
+		t.Fatal("Apply(ReplaceComponent) repaired a borderline connector fault")
+	}
+	if !a.Active() {
+		t.Fatal("wrong action deactivated the fault")
+	}
+	if !Apply(a, core.ActionInspectConnector) {
+		t.Fatal("Apply(InspectConnector) failed to repair a borderline fault")
+	}
+	if a.Active() {
+		t.Fatal("correct action left the fault active")
+	}
+}
+
+// TestApplyRunsCleanup: Apply triggers the activation's OnDeactivate
+// hooks — the injector's manifestation hooks are actually unhooked.
+func TestApplyRunsCleanup(t *testing.T) {
+	a := &faults.Activation{Class: core.ComponentInternal}
+	cleaned := false
+	a.OnDeactivate(func() { cleaned = true })
+	if !Apply(a, core.ActionReplaceComponent) {
+		t.Fatal("Apply(ReplaceComponent) failed to repair an internal fault")
+	}
+	if !cleaned {
+		t.Error("Deactivate did not run the OnDeactivate hook")
+	}
+}

@@ -392,15 +392,16 @@ type auditPair struct {
 }
 
 // evaluatePairs audits activations that live on different advisor
-// instances (one per vehicle).
+// instances (one per vehicle), through the same arm-audit accumulation
+// the trace-fed warranty engine runs.
 func evaluatePairs(pairs []auditPair) *maintenance.Report {
-	merged := &maintenance.Report{Confusion: map[core.FaultClass]map[core.FaultClass]int{}}
-	for _, p := range pairs {
-		for _, out := range maintenance.Evaluate([]*faults.Activation{p.act}, p.adv).Outcomes {
-			merged.Record(out)
-		}
+	audit := maintenance.ArmAudit{
+		Report: maintenance.Report{Confusion: map[core.FaultClass]map[core.FaultClass]int{}},
 	}
-	return merged
+	for _, p := range pairs {
+		audit.Audit(p.act, p.adv)
+	}
+	return &audit.Report
 }
 
 // hardwareFRUs lists the hardware FRUs of a system (the audit block
@@ -414,16 +415,16 @@ func hardwareFRUs(sys *System) []core.FRU {
 }
 
 // countRemovalAdvice counts hardware FRUs the advisor would remove on a
-// vehicle (used on fault-free vehicles: every such recommendation is a
-// false alarm).
+// fault-free vehicle, folding each recommendation through the shared
+// arm audit (every removal there is a false alarm).
 func countRemovalAdvice(sys *System, adv maintenance.Advisor) int {
-	n := 0
+	var audit maintenance.ArmAudit
 	for _, c := range sys.Cluster.Components() {
-		if action, _, ok := adv.Advise(core.HardwareFRU(int(c.ID))); ok && action.Removal() {
-			n++
+		if action, _, ok := adv.Advise(core.HardwareFRU(int(c.ID))); ok {
+			audit.HealthyAdvice(action)
 		}
 	}
-	return n
+	return audit.FalseAlarms
 }
 
 func normalizeMix(mix map[FaultKind]float64) ([]FaultKind, []float64) {

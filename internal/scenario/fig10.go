@@ -55,6 +55,13 @@ func Fig10(seed uint64, opts diagnosis.Options) *System {
 	return fig10Engine(seed, opts, nil)
 }
 
+// Fig10With is Fig10 with extra engine options composed onto the
+// canonical configuration — trace sinks, fault manifests, classifier
+// selection (engine.WithOBDClassifier and friends).
+func Fig10With(seed uint64, opts diagnosis.Options, extra ...engine.Option) *System {
+	return fig10Engine(seed, opts, extra)
+}
+
 // fig10Engine assembles the Fig. 10 system through the run engine; extra
 // options (a trace sink, a fault manifest) compose onto the canonical
 // configuration.

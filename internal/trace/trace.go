@@ -106,7 +106,6 @@ func AttachSink(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Inj
 		})
 	})
 
-	var emittedSeen int
 	var ledgerSeen int
 	lastTrustEpoch := int64(0)
 	cl.OnRound(func(round int64, now sim.Time) {
@@ -122,15 +121,6 @@ func AttachSink(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Inj
 		if d == nil {
 			return
 		}
-		for _, v := range d.Assessor.Emitted()[emittedSeen:] {
-			r.write(Event{
-				T: v.At.Micros(), Kind: "verdict",
-				Subject: v.FRU.String(), Class: v.Class.String(),
-				Pattern: v.Pattern, Action: v.Action.String(), Conf: v.Confidence,
-			})
-		}
-		emittedSeen = len(d.Assessor.Emitted())
-
 		if opts.TrustEveryEpochs > 0 {
 			if e := d.Assessor.Epoch(); e >= lastTrustEpoch+opts.TrustEveryEpochs {
 				lastTrustEpoch = e
@@ -146,8 +136,17 @@ func AttachSink(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Inj
 	})
 
 	if d != nil {
-		// Symptoms are streamed as the assessor ingests them from the
-		// virtual diagnostic network.
+		// Per-stage attach points of the assessment pipeline: verdicts are
+		// streamed from the adviser stage as they are emitted, symptoms
+		// from the collector stage as it ingests them off the virtual
+		// diagnostic network.
+		d.Assessor.OnVerdict(func(v diagnosis.Verdict) {
+			r.write(Event{
+				T: v.At.Micros(), Kind: "verdict",
+				Subject: v.FRU.String(), Class: v.Class.String(),
+				Pattern: v.Pattern, Action: v.Action.String(), Conf: v.Confidence,
+			})
+		})
 		d.Assessor.OnSymptom(func(s diagnosis.Symptom) {
 			obs := int(s.Observer)
 			subject := fmt.Sprint(int(s.Subject))

@@ -155,15 +155,14 @@ func (c *Collector) Summary(threshold float64) *Summary {
 	// Every arm must audit every ground-truth fault, so the source set is
 	// fixed before any vehicle is folded in (a vehicle whose trace lacks
 	// one arm's advice still counts against that arm — as missed faults).
-	reports := make(map[string]*maintenance.Report)
+	audits := make(map[string]*maintenance.ArmAudit)
 	for _, v := range vehicles {
 		for src := range v.st.advice {
-			if reports[src] == nil {
-				reports[src] = &maintenance.Report{}
+			if audits[src] == nil {
+				audits[src] = &maintenance.ArmAudit{}
 			}
 		}
 	}
-	falseAlarms := make(map[string]int)
 	tally := fleet.NewTally()
 	type patAgg struct {
 		count    int
@@ -194,20 +193,18 @@ func (c *Collector) Summary(threshold float64) *Summary {
 		s.Truths += len(st.truths)
 
 		// E8 audit: judge every ground-truth fault against each arm's
-		// embedded advice — the identical rule the in-process
-		// maintenance audit applies (maintenance.Judge).
+		// embedded advice — the identical accumulation the in-process
+		// campaign audit runs (maintenance.ArmAudit over maintenance.Judge).
 		for _, tr := range st.truths {
-			for _, src := range sortedKeys(reports) {
+			for _, src := range sortedKeys(audits) {
 				adv, found := st.advice[src][tr.subject]
-				reports[src].Record(maintenance.Judge(tr.class, adv.class, adv.action, found))
+				audits[src].Judged(tr.class, adv.class, adv.action, found)
 			}
 		}
 		if st.faultFree {
-			for _, src := range sortedKeys(reports) {
+			for _, src := range sortedKeys(audits) {
 				for _, adv := range st.advice[src] {
-					if adv.action.Removal() {
-						falseAlarms[src]++
-					}
+					audits[src].HealthyAdvice(adv.action)
 				}
 			}
 		}
@@ -260,7 +257,8 @@ func (c *Collector) Summary(threshold float64) *Summary {
 		}
 	}
 
-	for src, rep := range reports {
+	for src, audit := range audits {
+		rep := &audit.Report
 		s.Arms[src] = &Arm{
 			Audited:        rep.Total,
 			CorrectClass:   rep.CorrectClass,
@@ -273,7 +271,7 @@ func (c *Collector) Summary(threshold float64) *Summary {
 			Missed:         rep.Missed,
 			MissRatio:      rep.MissRatio(),
 			Cost:           rep.Cost,
-			FalseAlarms:    falseAlarms[src],
+			FalseAlarms:    audit.FalseAlarms,
 		}
 	}
 

@@ -4,7 +4,11 @@
 # which writes the JSON perf-trajectory report committed as BENCH_<pr>.json.
 #
 # Usage:
-#   scripts/bench.sh [-short] [-baseline OLD.txt] [-o REPORT.json] [-keep RAW.txt]
+#   scripts/bench.sh [-short] [-baseline OLD] [-gate RATIO] [-o REPORT.json] [-keep RAW.txt]
+#
+# -baseline accepts bench text or a committed BENCH_<pr>.json report;
+# -gate RATIO turns the comparison into a regression gate (benchcmp
+# -max-ns-ratio RATIO, non-zero exit on any regression).
 #
 # -short trims benchtime so the harness finishes in seconds (CI smoke test);
 # the full run uses the default 1s benchtime for the steady-state set and a
@@ -14,16 +18,18 @@ cd "$(dirname "$0")/.."
 
 SHORT=0
 BASELINE=""
+GATE=""
 OUT=""
 KEEP=""
 while [ $# -gt 0 ]; do
     case "$1" in
     -short) SHORT=1 ;;
     -baseline) BASELINE=$2; shift ;;
+    -gate) GATE=$2; shift ;;
     -o) OUT=$2; shift ;;
     -keep) KEEP=$2; shift ;;
     *)
-        echo "usage: scripts/bench.sh [-short] [-baseline old.txt] [-o report.json] [-keep raw.txt]" >&2
+        echo "usage: scripts/bench.sh [-short] [-baseline old] [-gate ratio] [-o report.json] [-keep raw.txt]" >&2
         exit 2
         ;;
     esac
@@ -46,7 +52,7 @@ else
 fi
 
 if [ -n "$BASELINE" ]; then
-    go run ./cmd/decos-benchcmp ${OUT:+-o "$OUT"} "$BASELINE" "$RAW"
+    go run ./cmd/decos-benchcmp ${OUT:+-o "$OUT"} ${GATE:+-max-ns-ratio "$GATE"} "$BASELINE" "$RAW"
 elif [ -n "$OUT" ]; then
     go run ./cmd/decos-benchcmp -snapshot -o "$OUT" "$RAW"
 fi

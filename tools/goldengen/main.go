@@ -1,5 +1,5 @@
 // Command goldengen regenerates the engine-parity golden snapshots
-// (internal/engine/testdata): the full E2 and E8 reports under the
+// (internal/engine/testdata): the full E2, E8 and E13 reports under the
 // canonical seed. Run it only when an intentional behaviour change is
 // being made; the golden test exists to catch unintentional ones.
 package main
@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	for _, id := range []string{"E2", "E8"} {
+	for _, id := range []string{"E2", "E8", "E13"} {
 		r, ok := experiments.ByID(id, 20050404)
 		if !ok {
 			panic(id)
