@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench benchfull benchall build fmt vet
+.PHONY: check test race bench benchfull benchall build fmt vet metrics-demo
 
 # Commit gate: gofmt (failing), vet, build, full tests, and a targeted
 # -race leg over the concurrent packages (scenario, warranty, engine).
@@ -24,6 +24,7 @@ bench:
 	$(GO) test -run 'TestAllocGuard' -v .
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr2.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr4.json
+	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr5.json
 
 # Full curated benchmark run (steady-state set at default benchtime plus
 # one-shot E8/E13); pass BASELINE=old.txt (bench text or a committed
@@ -35,6 +36,12 @@ benchfull:
 # Every benchmark in the repository.
 benchall:
 	$(GO) test -bench=. -benchmem ./...
+
+# Live-telemetry demo: decos-fleetd under its built-in load generator,
+# /v1/metrics curled in both views, SIGTERM shutdown with the final
+# accounting line. ADDR/VEHICLES/ROUNDS overridable.
+metrics-demo:
+	./scripts/metrics-demo.sh
 
 fmt:
 	gofmt -w .

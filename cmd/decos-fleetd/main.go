@@ -8,6 +8,7 @@
 //	GET  /v1/fleet/summary fleet aggregate (?threshold= optional)
 //	GET  /v1/fru/{id}      per-FRU drill-down (id URL-escaped)
 //	GET  /v1/healthz       liveness + ingestion counters
+//	GET  /v1/metrics       telemetry snapshot (?format=expvar for flat JSON)
 //
 // With -demo-vehicles N the daemon pre-populates itself by running an
 // N-vehicle traced campaign on all CPUs and ingesting the streams — a
@@ -34,6 +35,7 @@ import (
 
 	"decos/internal/engine"
 	"decos/internal/scenario"
+	"decos/internal/telemetry"
 	"decos/internal/warranty"
 )
 
@@ -58,6 +60,7 @@ func main() {
 	defer stop()
 
 	col := warranty.NewCollector(*shards)
+	metrics := telemetry.New()
 	if *demoVehicles > 0 {
 		start := time.Now()
 		c := scenario.Campaign{
@@ -79,14 +82,16 @@ func main() {
 			col.Vehicles(), col.Events(), time.Since(start).Round(time.Millisecond))
 	}
 
+	api := warranty.NewServer(col, warranty.ServerOptions{
+		MaxInflight:  *maxInflight,
+		MaxLineBytes: *maxLineBytes,
+		MaxBodyBytes: *maxBodyBytes,
+		Threshold:    *threshold,
+		Telemetry:    metrics,
+	})
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: warranty.NewServer(col, warranty.ServerOptions{
-			MaxInflight:  *maxInflight,
-			MaxLineBytes: *maxLineBytes,
-			MaxBodyBytes: *maxBodyBytes,
-			Threshold:    *threshold,
-		}),
+		Addr:              *addr,
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -95,6 +100,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "decos-fleetd: %v\n", err)
 		os.Exit(1)
 	}
-	log.Printf("bye: %d vehicles, %d events, %d corrupt lines",
-		col.Vehicles(), col.Events(), col.Corrupt())
+	// One-line final accounting for operators: everything the process
+	// ingested, refused and skipped over its lifetime, from the same
+	// telemetry registry /v1/metrics served.
+	s := metrics.Snapshot()
+	log.Printf("bye: %d frames in %d events from %d vehicles, %d ingest requests (%d stalled), %d corrupt lines, %d malformed events",
+		col.Frames(), col.Events(), col.Vehicles(),
+		s.Counters["ingest.requests"], s.Counters["ingest.rejected"],
+		col.Corrupt(), col.Malformed())
 }

@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	decos-sim [-seed N] [-rounds N] [-fault kind] [-at ms] [-v]
+//	decos-sim [-seed N] [-rounds N] [-fault kind] [-at ms] [-v] [-metrics N]
 //
 // Fault kinds: emi seu connector-tx connector-rx wearout intermittent
 // permanent quartz config bohrbug heisenbug job-crash sensor-stuck
 // sensor-drift (empty = healthy run).
+//
+// With -metrics N the run is instrumented with the telemetry registry and
+// a one-line JSON snapshot is dumped to stderr every N rounds (and once at
+// the end). Dumps happen between rounds on the simulator thread, so the
+// run stays deterministic and race-free; with the flag off no telemetry is
+// attached at all and the output is bit-identical to earlier releases.
 package main
 
 import (
@@ -20,9 +26,11 @@ import (
 	"syscall"
 
 	"decos/internal/diagnosis"
+	"decos/internal/engine"
 	"decos/internal/maintenance"
 	"decos/internal/scenario"
 	"decos/internal/sim"
+	"decos/internal/telemetry"
 	"decos/internal/trace"
 )
 
@@ -33,13 +41,18 @@ func main() {
 	atMS := flag.Int64("at", 300, "injection time in ms")
 	verbose := flag.Bool("v", false, "print the fault-error-failure chain and symptom stats")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	metricsEvery := flag.Int64("metrics", 0, "dump a telemetry snapshot to stderr every N rounds (0 = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var metrics *telemetry.Registry
+	if *metricsEvery > 0 {
+		metrics = telemetry.New()
+	}
 	var rec *trace.Recorder
-	sys := scenario.Fig10(*seed, diagnosis.Options{})
+	sys := scenario.Fig10With(*seed, diagnosis.Options{}, engine.WithTelemetry(metrics))
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -70,7 +83,7 @@ func main() {
 		fmt.Printf("injected: %s\n", act)
 	}
 
-	if err := sys.RunCtx(ctx, *rounds); err != nil {
+	if err := runWithMetrics(ctx, sys, *rounds, *metricsEvery, metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "interrupted after %d of %d rounds\n", sys.Cluster.Round(), *rounds)
 		os.Exit(130)
 	}
@@ -136,6 +149,29 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runWithMetrics advances the system by rounds TDMA rounds. With a
+// metrics interval it runs in round-aligned chunks against the same
+// absolute deadlines a single run would pass through, dumping a snapshot
+// after each chunk — deterministic and bit-identical to the unchunked run.
+func runWithMetrics(ctx context.Context, sys *scenario.System, rounds, every int64, metrics *telemetry.Registry) error {
+	if every <= 0 || metrics == nil {
+		return sys.RunCtx(ctx, rounds)
+	}
+	roundUS := sys.Cluster.Cfg.RoundDuration().Micros()
+	for done := int64(0); done < rounds; {
+		n := every
+		if rem := rounds - done; n > rem {
+			n = rem
+		}
+		done += n
+		if err := sys.Cluster.Sched.RunUntilCtx(ctx, sim.Time(done*roundUS)-1); err != nil {
+			return err
+		}
+		_ = metrics.WriteJSON(os.Stderr)
+	}
+	return nil
 }
 
 func renderBar(v float64, width int) string {

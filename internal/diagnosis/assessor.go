@@ -1,6 +1,8 @@
 package diagnosis
 
 import (
+	"time"
+
 	"decos/internal/core"
 	"decos/internal/sim"
 	"decos/internal/vnet"
@@ -178,7 +180,23 @@ type Assessor struct {
 	classifier Classifier
 	opts       Options
 	evalCtx    *EvalContext
+	stageTimer func(stage Stage, wallNS int64)
 }
+
+// Stage identifies one stage of the assessment pipeline for telemetry.
+type Stage uint8
+
+const (
+	// StageCollect is the per-round symptom drain off the virtual
+	// diagnostic network.
+	StageCollect Stage = iota
+	// StageClassify is the per-epoch ONA/classifier evaluation.
+	StageClassify
+	// StageAdvise is the per-epoch verdict derivation and trust update.
+	StageAdvise
+	// NumStages is the stage count, for sizing lookup tables.
+	NumStages
+)
 
 // NewAssessor creates an assessor over the given registry, wired as the
 // default DECOS pipeline (fault-model classifier).
@@ -222,9 +240,23 @@ func (a *Assessor) SetClassifier(c Classifier) {
 // Classifier returns the active classification stage.
 func (a *Assessor) Classifier() Classifier { return a.classifier }
 
+// OnStageTiming registers a wall-clock observer of the pipeline stages:
+// f(stage, ns) fires after every stage execution — the collect stage once
+// per round, classify and advise once per assessment epoch. With no
+// observer registered (the default) the pipeline takes no timestamps at
+// all, so the disabled path stays free; timings are wall-clock and never
+// influence simulated behaviour.
+func (a *Assessor) OnStageTiming(f func(stage Stage, wallNS int64)) { a.stageTimer = f }
+
 // onRound is invoked once per TDMA round by the attached cluster.
 func (a *Assessor) onRound(round int64, now sim.Time) {
-	a.Drain()
+	if a.stageTimer != nil {
+		t0 := time.Now()
+		a.Drain()
+		a.stageTimer(StageCollect, time.Since(t0).Nanoseconds())
+	} else {
+		a.Drain()
+	}
 	if (round+1)%a.opts.EpochRounds == 0 {
 		a.evaluateEpoch(round, now)
 	}
@@ -242,7 +274,16 @@ func (a *Assessor) evaluateEpoch(granule int64, now sim.Time) {
 	ctx.Granule = granule
 	clear(ctx.Explained)
 	clear(ctx.Decided)
-	a.Adviser.Advance(ctx, a.classifier.Classify(ctx), now)
+	if a.stageTimer == nil {
+		a.Adviser.Advance(ctx, a.classifier.Classify(ctx), now)
+		return
+	}
+	t0 := time.Now()
+	findings := a.classifier.Classify(ctx)
+	t1 := time.Now()
+	a.stageTimer(StageClassify, t1.Sub(t0).Nanoseconds())
+	a.Adviser.Advance(ctx, findings, now)
+	a.stageTimer(StageAdvise, time.Since(t1).Nanoseconds())
 }
 
 // ClearVerdict forgets the FRU's verdict and resets its recurrence scores

@@ -35,6 +35,7 @@ import (
 	"decos/internal/diagnosis"
 	"decos/internal/faults"
 	"decos/internal/sim"
+	"decos/internal/telemetry"
 	"decos/internal/trace"
 	"decos/internal/tt"
 )
@@ -68,6 +69,7 @@ type Config struct {
 	manifest      []func(inj *faults.Injector)
 	sink          trace.Sink
 	traceOpts     trace.Options
+	metrics       *telemetry.Registry
 }
 
 // Option configures an Engine build.
@@ -151,6 +153,21 @@ func WithTraceWriter(w io.Writer, opts trace.Options) Option {
 	return WithSink(trace.NewNDJSONSink(w), opts)
 }
 
+// WithTelemetry publishes the run's health metrics into the given
+// registry: round throughput, per-stage assessment latencies (collect /
+// classify / advise, via the pipeline's attach points), and the simulator
+// layer counters (scheduled and pooled events, frame statuses, guardian
+// blocks, CRC drops). A nil registry — like the no-op trace sink —
+// installs no instrumentation at all, preserving the zero-allocation hot
+// path and bit-identical outputs.
+//
+// Counters and histograms are mirrored into plain atomic metrics once per
+// round from the simulator thread, so snapshotting the registry from
+// another goroutine is race-free.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Config) { c.metrics = reg }
+}
+
 // Engine is one assembled, started cluster with its attached observers.
 // Fields for unrequested attachments are nil.
 type Engine struct {
@@ -159,6 +176,9 @@ type Engine struct {
 	OBD      *baseline.OBD
 	Injector *faults.Injector
 	Recorder *trace.Recorder
+	// Telemetry is the registry passed to WithTelemetry (nil when the run
+	// is uninstrumented).
+	Telemetry *telemetry.Registry
 
 	cfg Config
 }
@@ -210,6 +230,10 @@ func New(opts ...Option) (*Engine, error) {
 	e.Injector = faults.NewInjector(cl)
 	if !trace.IsNop(cfg.sink) {
 		e.Recorder = trace.AttachSink(cl, e.Diag, e.Injector, cfg.sink, cfg.traceOpts)
+	}
+	if cfg.metrics.Enabled() {
+		e.Telemetry = cfg.metrics
+		instrument(e, cfg.metrics)
 	}
 	if err := cl.Start(); err != nil {
 		return nil, fmt.Errorf("engine: start: %w", err)

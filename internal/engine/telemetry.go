@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"time"
+
+	"decos/internal/diagnosis"
+	"decos/internal/sim"
+	"decos/internal/telemetry"
+)
+
+// instrument wires an enabled telemetry registry onto an assembled engine.
+// The design constraint is the same as the trace layer's: the simulator
+// loop is single-threaded and its layer counters (scheduler, bus, fabric)
+// are plain fields, so the round hook — running on the simulator thread —
+// mirrors them into atomic gauges once per round. Everything the registry
+// then holds is atomic, so HTTP handlers and periodic dumpers may snapshot
+// from any goroutine without racing the simulation.
+func instrument(e *Engine, reg *telemetry.Registry) {
+	cl := e.Cluster
+
+	rounds := reg.Counter("engine.rounds")
+	roundNS := reg.Histogram("engine.round_wall_ns")
+
+	simScheduled := reg.Gauge("sim.events_scheduled")
+	simFired := reg.Gauge("sim.events_fired")
+	simPooled := reg.Gauge("sim.events_pooled")
+	simPending := reg.Gauge("sim.events_pending")
+
+	framesOK := reg.Gauge("tt.frames_ok")
+	framesOmitted := reg.Gauge("tt.frames_omitted")
+	framesCorrupted := reg.Gauge("tt.frames_corrupted")
+	framesTiming := reg.Gauge("tt.frames_timing")
+	guardianBlocks := reg.Gauge("tt.guardian_blocks")
+
+	crcFailures := reg.Gauge("vnet.crc_failures")
+	frameMisses := reg.Gauge("vnet.frame_misses")
+	overflows := reg.Gauge("vnet.overflows")
+	seqGaps := reg.Gauge("vnet.seq_gaps")
+	decodeErrors := reg.Gauge("vnet.decode_errors")
+
+	var lastWall time.Time
+	cl.OnRound(func(round int64, now sim.Time) {
+		rounds.Inc()
+		wall := time.Now()
+		if !lastWall.IsZero() {
+			roundNS.Observe(wall.Sub(lastWall).Nanoseconds())
+		}
+		lastWall = wall
+
+		st := cl.Sched.Stats()
+		simScheduled.Set(int64(st.Scheduled))
+		simFired.Set(int64(st.Fired))
+		simPooled.Set(int64(st.Pooled))
+		simPending.Set(int64(st.Pending))
+
+		fc := cl.Bus.FrameCounts()
+		framesOK.Set(fc.OK)
+		framesOmitted.Set(fc.Omitted)
+		framesCorrupted.Set(fc.Corrupted)
+		framesTiming.Set(fc.Timing)
+		guardianBlocks.Set(fc.GuardianBlocks)
+
+		pt := cl.Fabric.Totals()
+		crcFailures.Set(pt.CRCFailures)
+		frameMisses.Set(pt.FrameMisses)
+		overflows.Set(pt.Overflows)
+		seqGaps.Set(pt.SeqGaps)
+		decodeErrors.Set(pt.DecodeErrors)
+	})
+
+	if e.Diag == nil {
+		return
+	}
+	symptoms := reg.Counter("diag.symptoms")
+	e.Diag.Assessor.OnSymptom(func(diagnosis.Symptom) { symptoms.Inc() })
+	verdicts := reg.Counter("diag.verdicts")
+	e.Diag.Assessor.OnVerdict(func(diagnosis.Verdict) { verdicts.Inc() })
+
+	var stageHists [diagnosis.NumStages]*telemetry.Histogram
+	stageHists[diagnosis.StageCollect] = reg.Histogram("diag.collect_ns")
+	stageHists[diagnosis.StageClassify] = reg.Histogram("diag.classify_ns")
+	stageHists[diagnosis.StageAdvise] = reg.Histogram("diag.advise_ns")
+	epochs := reg.Counter("diag.epochs")
+	e.Diag.Assessor.OnStageTiming(func(stage diagnosis.Stage, wallNS int64) {
+		if stage == diagnosis.StageAdvise {
+			epochs.Inc()
+		}
+		if int(stage) < len(stageHists) {
+			stageHists[stage].Observe(wallNS)
+		}
+	})
+}

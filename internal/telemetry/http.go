@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the registry as JSON.
+//
+// The default view is the structured Snapshot (counters / gauges /
+// histograms, names sorted). With ?format=expvar the response is the flat
+// one-level object expvar's /debug/vars emits — "name": value — with
+// histograms inlined as objects, so existing expvar scrapers ingest it
+// unchanged. A nil registry serves empty snapshots, never an error:
+// metrics being disabled is an observation, not a failure.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if req.URL.Query().Get("format") == "expvar" {
+			_ = r.writeExpvar(w)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// WriteJSON writes the snapshot as one compact JSON line — the periodic-
+// dump format of the command-line tools.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r.Snapshot())
+}
+
+// writeExpvar writes the flat expvar-style view: every metric a top-level
+// key. encoding/json sorts map keys, so the view is deterministic.
+func (r *Registry) writeExpvar(w io.Writer) error {
+	s := r.Snapshot()
+	flat := make(map[string]any, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n, v := range s.Counters {
+		flat[n] = v
+	}
+	for n, v := range s.Gauges {
+		flat[n] = v
+	}
+	for n, v := range s.Histograms {
+		flat[n] = v
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flat)
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHandlerStructuredView(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h").Observe(100)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if s.Counters["c"] != 3 || s.Gauges["g"] != -2 || s.Histograms["h"].Count != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestHandlerExpvarView(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h").Observe(100)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "?format=expvar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var flat map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&flat); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(flat) != 3 {
+		t.Fatalf("flat view has %d keys, want 3: %v", len(flat), flat)
+	}
+	if string(flat["c"]) != "3" || string(flat["g"]) != "-2" {
+		t.Errorf("flat scalars = %s / %s", flat["c"], flat["g"])
+	}
+	var h HistogramSnapshot
+	if err := json.Unmarshal(flat["h"], &h); err != nil || h.Count != 1 {
+		t.Errorf("flat histogram = %s (err %v)", flat["h"], err)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	for _, q := range []string{"", "?format=expvar"} {
+		resp, err := srv.Client().Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %q status = %d, want 200", q, resp.StatusCode)
+		}
+		var v map[string]any
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Errorf("GET %q body %q is not JSON: %v", q, body, err)
+		}
+		if len(v) != 0 {
+			t.Errorf("GET %q = %v, want empty object", q, v)
+		}
+	}
+}

@@ -85,6 +85,11 @@ type Bus struct {
 	// that the guardian suppressed.
 	GuardianBlocks int
 
+	// statusCounts tallies transmitted frames by FrameStatus (as seen on
+	// the medium, before receiver-side degradation) — the bus's own
+	// telemetry, maintained as plain increments on the slot path.
+	statusCounts [4]int64
+
 	// Per-slot scratch, reused every slot (see SlotObserver).
 	frame  Frame
 	per    []FrameStatus
@@ -343,6 +348,31 @@ func (b *Bus) runSlot(round int64, slot int) {
 	for _, o := range b.observers {
 		o(f, per)
 	}
+
+	if int(f.Status) < len(b.statusCounts) {
+		b.statusCounts[f.Status]++
+	}
+}
+
+// FrameCounts are the bus's lifetime frame tallies by transmitted status,
+// plus the guardian's suppression count.
+type FrameCounts struct {
+	Total, OK, Omitted, Corrupted, Timing int64
+	GuardianBlocks                        int64
+}
+
+// FrameCounts returns the frame tallies. Not safe for use concurrently
+// with the (single-threaded) simulation loop.
+func (b *Bus) FrameCounts() FrameCounts {
+	c := FrameCounts{
+		OK:             b.statusCounts[FrameOK],
+		Omitted:        b.statusCounts[FrameOmitted],
+		Corrupted:      b.statusCounts[FrameCorrupted],
+		Timing:         b.statusCounts[FrameTiming],
+		GuardianBlocks: int64(b.GuardianBlocks),
+	}
+	c.Total = c.OK + c.Omitted + c.Corrupted + c.Timing
+	return c
 }
 
 func (b *Bus) endRound(round int64) {

@@ -224,6 +224,35 @@ func (f *Fabric) PortsAt(node tt.NodeID) []*InPort {
 	return out
 }
 
+// PortTotals are the fabric-wide sums of every subscribed port's
+// observation statistics — the virtual-network layer's telemetry view
+// (CRC drops, misses, queue overflows, detected losses).
+type PortTotals struct {
+	Received     int64
+	CRCFailures  int64
+	FrameMisses  int64
+	Overflows    int64
+	SeqGaps      int64
+	DecodeErrors int64
+}
+
+// Totals sums the port statistics across all subscriptions. It allocates
+// nothing and is cheap enough to call every round; like the ports
+// themselves it is not safe for use concurrently with the simulation loop.
+func (f *Fabric) Totals() PortTotals {
+	t := PortTotals{DecodeErrors: int64(f.DecodeErrors)}
+	for _, ports := range f.subs {
+		for _, p := range ports {
+			t.Received += int64(p.Stats.Received)
+			t.CRCFailures += int64(p.Stats.CRCFailures)
+			t.FrameMisses += int64(p.Stats.FrameMisses)
+			t.Overflows += int64(p.Stats.Overflows)
+			t.SeqGaps += int64(p.Stats.SeqGaps)
+		}
+	}
+	return t
+}
+
 // Networks returns the registered networks in registration order.
 func (f *Fabric) Networks() []*Network { return f.networks }
 

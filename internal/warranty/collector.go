@@ -40,6 +40,7 @@ type Collector struct {
 type shard struct {
 	mu       sync.Mutex
 	vehicles map[int]*vehicleState
+	frames   int64 // frame events ingested into this shard
 }
 
 // NewCollector creates a collector with the given number of shards
@@ -186,6 +187,9 @@ func (c *Collector) Ingest(e trace.Event) {
 	switch e.Kind {
 	case "frame":
 		v.frames++
+		// Counted per shard under the lock already held — an atomic here
+		// would be a measurable tax on the per-event ingest path.
+		sh.frames++
 	case "symptom":
 		v.symptoms[e.Symptom] += e.Count
 	case "verdict":
@@ -266,6 +270,17 @@ func (c *Collector) IngestStream(r io.Reader, maxLineBytes int) (events, corrupt
 // Events returns the number of events ingested so far.
 func (c *Collector) Events() int64 { return c.events.Load() }
 
+// Frames returns the number of frame events ingested so far.
+func (c *Collector) Frames() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.frames
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Corrupt returns the number of undecodable trace lines skipped.
 func (c *Collector) Corrupt() int64 { return c.corrupt.Load() }
 
@@ -281,4 +296,21 @@ func (c *Collector) Vehicles() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// ShardDepth returns the deepest and shallowest per-shard vehicle counts —
+// the skew a bad vehicle-id distribution would show up as.
+func (c *Collector) ShardDepth() (max, min int) {
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		n := len(sh.vehicles)
+		sh.mu.Unlock()
+		if i == 0 || n > max {
+			max = n
+		}
+		if i == 0 || n < min {
+			min = n
+		}
+	}
+	return max, min
 }

@@ -6,6 +6,9 @@ import (
 	"net/url"
 	"strconv"
 	"sync/atomic"
+	"time"
+
+	"decos/internal/telemetry"
 )
 
 // ServerOptions tunes the ingestion HTTP front end. Zero values select
@@ -25,6 +28,10 @@ type ServerOptions struct {
 	// (DefaultThreshold when 0); overridable per request with
 	// ?threshold=.
 	Threshold float64
+	// Telemetry is the metrics registry the server publishes into and
+	// serves on GET /v1/metrics. Nil creates a private registry: unlike
+	// the simulator hot path, the HTTP front end always observes itself.
+	Telemetry *telemetry.Registry
 }
 
 // Server exposes a Collector over HTTP (stdlib only):
@@ -33,12 +40,24 @@ type ServerOptions struct {
 //	GET  /v1/fleet/summary fleet aggregate (?threshold= optional)
 //	GET  /v1/fru/{id}      per-FRU drill-down (id URL-escaped)
 //	GET  /v1/healthz       liveness + ingestion counters
+//	GET  /v1/metrics       telemetry snapshot (?format=expvar for the flat view)
+//
+// The healthz ingestion counters are read from the same telemetry
+// registry the metrics endpoint serves, so liveness and metrics can never
+// disagree about how much the server has ingested or refused.
 type Server struct {
 	c        *Collector
 	opts     ServerOptions
 	sem      chan struct{}
 	inflight atomic.Int64
 	mux      *http.ServeMux
+
+	metrics        *telemetry.Registry
+	ingestRequests *telemetry.Counter
+	ingestRejected *telemetry.Counter
+	ingestEvents   *telemetry.Counter
+	ingestCorrupt  *telemetry.Counter
+	ingestNS       *telemetry.Histogram
 }
 
 // NewServer wraps a collector with the HTTP API.
@@ -52,18 +71,44 @@ func NewServer(c *Collector, opts ServerOptions) *Server {
 	if opts.Threshold <= 0 {
 		opts.Threshold = DefaultThreshold
 	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.New()
+	}
 	s := &Server{
 		c:    c,
 		opts: opts,
 		sem:  make(chan struct{}, opts.MaxInflight),
 		mux:  http.NewServeMux(),
+
+		metrics:        opts.Telemetry,
+		ingestRequests: opts.Telemetry.Counter("ingest.requests"),
+		ingestRejected: opts.Telemetry.Counter("ingest.rejected"),
+		ingestEvents:   opts.Telemetry.Counter("ingest.events"),
+		ingestCorrupt:  opts.Telemetry.Counter("ingest.corrupt_lines"),
+		ingestNS:       opts.Telemetry.Histogram("ingest.request_ns"),
 	}
+	// Store-derived values are computed at snapshot time: the collector's
+	// own atomics (and per-shard locks) are the one source of truth.
+	reg := opts.Telemetry
+	reg.GaugeFunc("fleet.vehicles", func() int64 { return int64(c.Vehicles()) })
+	reg.GaugeFunc("fleet.events", c.Events)
+	reg.GaugeFunc("fleet.frames", c.Frames)
+	reg.GaugeFunc("fleet.corrupt_lines", c.Corrupt)
+	reg.GaugeFunc("fleet.malformed_events", c.Malformed)
+	reg.GaugeFunc("warranty.shard_depth_max", func() int64 { max, _ := c.ShardDepth(); return int64(max) })
+	reg.GaugeFunc("warranty.shard_depth_min", func() int64 { _, min := c.ShardDepth(); return int64(min) })
+	reg.GaugeFunc("ingest.inflight", s.inflight.Load)
+
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/fleet/summary", s.handleSummary)
 	s.mux.HandleFunc("GET /v1/fru/{id...}", s.handleFRU)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.Handle("GET /v1/metrics", opts.Telemetry.Handler())
 	return s
 }
+
+// Telemetry returns the registry the server publishes into (never nil).
+func (s *Server) Telemetry() *telemetry.Registry { return s.metrics }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -80,21 +125,27 @@ type errorBody struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.ingestRequests.Inc()
 	select {
 	case s.sem <- struct{}{}:
 	default:
+		s.ingestRejected.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "ingest queue full"})
 		return
 	}
 	s.inflight.Add(1)
+	start := time.Now()
 	defer func() {
+		s.ingestNS.Observe(time.Since(start).Nanoseconds())
 		s.inflight.Add(-1)
 		<-s.sem
 	}()
 
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	events, corrupt, err := s.c.IngestStream(body, s.opts.MaxLineBytes)
+	s.ingestEvents.Add(int64(events))
+	s.ingestCorrupt.Add(int64(corrupt))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
@@ -133,11 +184,15 @@ func (s *Server) handleFRU(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		Status    string `json:"status"`
-		Vehicles  int    `json:"vehicles"`
-		Events    int64  `json:"events"`
-		Corrupt   int64  `json:"corrupt_lines"`
-		Malformed int64  `json:"malformed_events"`
-		Inflight  int64  `json:"inflight_ingests"`
-	}{"ok", s.c.Vehicles(), s.c.Events(), s.c.Corrupt(), s.c.Malformed(), s.inflight.Load()})
+		Status         string `json:"status"`
+		Vehicles       int    `json:"vehicles"`
+		Events         int64  `json:"events"`
+		Corrupt        int64  `json:"corrupt_lines"`
+		Malformed      int64  `json:"malformed_events"`
+		Inflight       int64  `json:"inflight_ingests"`
+		IngestRequests int64  `json:"ingest_requests"`
+		IngestRejected int64  `json:"ingest_rejected"`
+	}{"ok", s.c.Vehicles(), s.c.Events(), s.c.Corrupt(), s.c.Malformed(),
+		s.inflight.Load(), s.ingestRequests.Value(), s.ingestRejected.Value()},
+	)
 }

@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"decos/internal/diagnosis"
+	"decos/internal/engine"
 	"decos/internal/scenario"
 	"decos/internal/sim"
+	"decos/internal/telemetry"
 	"decos/internal/tt"
 )
 
@@ -78,5 +80,35 @@ func TestAllocGuardAssessorEpoch(t *testing.T) {
 	t.Logf("assessor epoch: %.1f allocs/epoch", allocs)
 	if allocs > 16 {
 		t.Errorf("assessor epoch allocates %.1f objects, want <= 16", allocs)
+	}
+}
+
+// TestAllocGuardTelemetryRound is the zero-overhead contract of the
+// telemetry subsystem, measured: a Fig. 10 cluster round with a nil
+// registry must allocate exactly what an entirely un-optioned cluster
+// allocates (the disabled path installs no hooks at all), and an enabled
+// registry may add at most 2 allocations per round on top.
+func TestAllocGuardTelemetryRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster warm-up in -short mode")
+	}
+	perRound := func(extra ...engine.Option) float64 {
+		sys := scenario.Fig10With(20050404, diagnosis.Options{}, extra...)
+		sys.Run(200) // warm pools, scratch and trust histories
+		const roundsPerRun = 64
+		allocs := testing.AllocsPerRun(5, func() { sys.Run(roundsPerRun) })
+		return allocs / roundsPerRun
+	}
+
+	base := perRound()
+	nilReg := perRound(engine.WithTelemetry(nil))
+	enabled := perRound(engine.WithTelemetry(telemetry.New()))
+	t.Logf("allocs/round: base %.3f, nil registry %.3f, enabled %.3f", base, nilReg, enabled)
+
+	if nilReg != base {
+		t.Errorf("nil-registry round allocates %.3f objects, baseline %.3f — disabled telemetry must be free", nilReg, base)
+	}
+	if enabled > base+2 {
+		t.Errorf("enabled-registry round allocates %.3f objects, want <= baseline + 2 (%.3f)", enabled, base+2)
 	}
 }

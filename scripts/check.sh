@@ -1,7 +1,8 @@
 #!/bin/sh
 # Repository check: formatting, vet, build, the full test suite, and a
 # race-detector leg over the packages that actually run goroutines (the
-# campaign workers, the warranty daemon, the engine's context lifecycle).
+# campaign workers, the warranty daemon, the engine's context lifecycle,
+# the telemetry registry's concurrent writers).
 # Fails (non-zero) on any violation, including unformatted files.
 #
 # The full suite under -race is `make race`; this gate keeps the race leg
@@ -28,6 +29,6 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/scenario/... ./internal/warranty/... ./internal/engine/...
+go test -race ./internal/scenario/... ./internal/warranty/... ./internal/engine/... ./internal/telemetry/...
 
 echo "OK"

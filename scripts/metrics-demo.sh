@@ -1,0 +1,53 @@
+#!/bin/sh
+# Demo of the live-telemetry loop (`make metrics-demo`): start decos-fleetd
+# with its built-in load generator, wait for it to come up, curl the
+# /v1/metrics endpoint in both views plus /v1/healthz, then stop the daemon
+# with SIGTERM so it prints its one-line final accounting.
+#
+# Environment overrides: ADDR (default 127.0.0.1:18080), VEHICLES (default
+# 25), ROUNDS (default 1000).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR=${ADDR:-127.0.0.1:18080}
+VEHICLES=${VEHICLES:-25}
+ROUNDS=${ROUNDS:-1000}
+BASE="http://$ADDR"
+
+echo "== building decos-fleetd =="
+go build -o /tmp/decos-fleetd ./cmd/decos-fleetd
+
+echo "== starting decos-fleetd on $ADDR with a $VEHICLES-vehicle demo campaign =="
+/tmp/decos-fleetd -addr "$ADDR" -demo-vehicles "$VEHICLES" -demo-rounds "$ROUNDS" &
+PID=$!
+trap 'kill -TERM $PID 2>/dev/null || true' EXIT
+
+i=0
+until curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ] || ! kill -0 $PID 2>/dev/null; then
+        echo "decos-fleetd never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo
+echo "== GET /v1/healthz =="
+curl -fsS "$BASE/v1/healthz"
+
+echo
+echo "== GET /v1/metrics =="
+curl -fsS "$BASE/v1/metrics"
+
+echo
+echo "== GET /v1/metrics?format=expvar =="
+curl -fsS "$BASE/v1/metrics?format=expvar"
+
+echo
+echo "== stopping (SIGTERM) =="
+kill -TERM $PID
+trap - EXIT
+wait $PID
+echo "OK"
