@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench benchfull benchall build fmt vet metrics-demo
+.PHONY: check test race bench benchfull benchall build fmt vet metrics-demo cluster-demo cluster-bench
 
 # Commit gate: gofmt (failing), vet, build, full tests, and a targeted
 # -race leg over the concurrent packages (scenario, warranty, engine).
@@ -25,6 +25,7 @@ bench:
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr2.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr4.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr5.json
+	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr6.json
 
 # Full curated benchmark run (steady-state set at default benchtime plus
 # one-shot E8/E13); pass BASELINE=old.txt (bench text or a committed
@@ -42,6 +43,18 @@ benchall:
 # accounting line. ADDR/VEHICLES/ROUNDS overridable.
 metrics-demo:
 	./scripts/metrics-demo.sh
+
+# Multi-node demo: N decos-fleetd shard peers, a synthetic fleet uplinked
+# through the ring client, the coordinator's merged view curled and
+# cross-checked against a one-shot poll. PEERS/VEHICLES/EVENTS
+# overridable.
+cluster-demo:
+	./scripts/cluster-demo.sh
+
+# Cluster scaling measurement: delivered uplink throughput for 1 vs 4
+# latency-bound shards, gated at >= 2x (the BENCH_pr6.json artifact).
+cluster-bench:
+	./scripts/cluster-bench.sh -gate 0.5
 
 fmt:
 	gofmt -w .

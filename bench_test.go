@@ -5,10 +5,15 @@ package decos
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"decos/internal/cluster"
 	"decos/internal/core"
 	"decos/internal/diagnosis"
 	"decos/internal/experiments"
@@ -310,5 +315,65 @@ func BenchmarkAlphaCount(b *testing.B) {
 	a := diagnosis.NewAlphaCount(0.9, 2.5)
 	for i := 0; i < b.N; i++ {
 		a.Step(diagnosis.FRUIndex(i%16), i%3 == 0, 1)
+	}
+}
+
+// BenchmarkClusterIngest measures delivered uplink throughput against a
+// sharded fleetd cluster whose peers sit behind a simulated WAN service
+// latency — the regime a real OEM backend runs in, where ingest is bound
+// by round-trip budget and per-peer admission (modelled as a capped
+// connection pool), not by local CPU. Sharding multiplies the in-flight
+// batch budget: 4 peers carry 4x the concurrent batches of 1, so
+// delivered events/sec scales with the shard count while each peer's CPU
+// stays far from saturated. One op is one vehicle trace uplinked through
+// the ring client (batch-per-trace).
+func BenchmarkClusterIngest(b *testing.B) {
+	const (
+		corpusVehicles = 256
+		perVehicle     = 48
+		wanLatency     = 20 * time.Millisecond
+		connsPerPeer   = 2
+	)
+	gen := cluster.LoadGen{Seed: benchSeed, EventsPerVehicle: perVehicle}
+	traces := make([][]byte, corpusVehicles)
+	for v := range traces {
+		traces[v] = gen.VehicleTrace(v + 1)
+	}
+	for _, peers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", peers), func(b *testing.B) {
+			var urls []string
+			for i := 0; i < peers; i++ {
+				api := warranty.NewServer(warranty.NewCollector(0), warranty.ServerOptions{MaxInflight: 1024})
+				srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					time.Sleep(wanLatency)
+					api.ServeHTTP(w, r)
+				}))
+				defer srv.Close()
+				urls = append(urls, srv.URL)
+			}
+			ring, err := cluster.NewRing(urls, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := cluster.NewClient(ring, cluster.ClientOptions{
+				HTTPClient: &http.Client{
+					Transport: &http.Transport{MaxConnsPerHost: connsPerPeer},
+				},
+				MaxBatchBytes: 1, // flush every trace: one batch per op
+				Seed:          benchSeed,
+			})
+			var next atomic.Int64
+			b.SetParallelism(16) // enough uplink workers to fill every peer's pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					v := int(next.Add(1))
+					if err := client.AddTrace(context.Background(), v, traces[(v-1)%corpusVehicles]); err != nil {
+						b.Error(err)
+					}
+				}
+			})
+		})
 	}
 }

@@ -1,0 +1,230 @@
+// Command decos-fleetctl operates a sharded fleetd cluster: it is the
+// coordinator and the load side of internal/cluster, over the same
+// consistent-hash ring the ingest clients use.
+//
+//	decos-fleetctl coordinate -addr :9090 -peers host1:8080,host2:8080,host3:8080
+//	decos-fleetctl summary    -peers host1:8080,host2:8080 [-threshold 0.15]
+//	decos-fleetctl load       -peers host1:8080,host2:8080 -vehicles 1000000
+//
+// coordinate serves the merged fleet view:
+//
+//	GET /v1/fleet/summary   merged across all shards (?threshold= optional);
+//	                        byte-identical to a single-node fleetd when every
+//	                        shard answers, explicit partial coverage otherwise
+//	GET /v1/cluster/healthz per-peer poll status and coverage
+//	GET /v1/cluster/ring    ring layout and ownership shares
+//	GET /v1/metrics         per-peer snapshot latency, merge and retry counters
+//
+// summary performs one poll-and-merge and prints the merged summary to
+// stdout. load generates deterministic synthetic vehicle traces and
+// uplinks them through the batching ring client — the
+// millions-of-vehicles mode used to size a cluster.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"decos/internal/cluster"
+	"decos/internal/engine"
+	"decos/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch os.Args[1] {
+	case "coordinate":
+		err = coordinate(ctx, os.Args[2:])
+	case "summary":
+		err = summary(ctx, os.Args[2:])
+	case "load":
+		err = load(ctx, os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "decos-fleetctl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "decos-fleetctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  decos-fleetctl coordinate -addr :9090 -peers h1:8080,h2:8080 [-peer-timeout 5s] [-retries 2] [-threshold 0.15]
+  decos-fleetctl summary    -peers h1:8080,h2:8080 [-threshold 0.15]
+  decos-fleetctl load       -peers h1:8080,h2:8080 -vehicles 100000 [-events 64] [-seed 1] [-workers 8]`)
+}
+
+// parsePeers turns a comma-separated peer list into base URLs; a bare
+// host:port gets the http scheme.
+func parsePeers(s string) ([]string, error) {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		peers = append(peers, strings.TrimRight(p, "/"))
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no peers given (-peers host1:8080,host2:8080)")
+	}
+	return peers, nil
+}
+
+func coordinate(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
+	addr := fs.String("addr", ":9090", "listen address")
+	peersFlag := fs.String("peers", "", "comma-separated fleetd peers")
+	peerTimeout := fs.Duration("peer-timeout", 5*time.Second, "per-peer snapshot timeout")
+	retries := fs.Int("retries", 2, "snapshot retries per peer per poll")
+	threshold := fs.Float64("threshold", 0, "systematic-fault share (0 = server default)")
+	fs.Parse(args)
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	metrics := telemetry.New()
+	co, err := cluster.NewCoordinator(peers, cluster.CoordinatorOptions{
+		PeerTimeout: *peerTimeout,
+		Retries:     *retries,
+		Threshold:   *threshold,
+		Telemetry:   metrics,
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           co,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("decos-fleetctl coordinating %d peers on %s", len(peers), *addr)
+	return engine.Serve(ctx, srv, 15*time.Second)
+}
+
+func summary(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	peersFlag := fs.String("peers", "", "comma-separated fleetd peers")
+	peerTimeout := fs.Duration("peer-timeout", 5*time.Second, "per-peer snapshot timeout")
+	threshold := fs.Float64("threshold", 0, "systematic-fault share (0 = server default)")
+	fs.Parse(args)
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	co, err := cluster.NewCoordinator(peers, cluster.CoordinatorOptions{
+		PeerTimeout: *peerTimeout,
+		Telemetry:   telemetry.New(),
+	})
+	if err != nil {
+		return err
+	}
+	poll := co.Poll(ctx)
+	for _, st := range poll.Status {
+		if !st.OK {
+			log.Printf("peer %s unreachable: %s", st.Peer, st.Error)
+		}
+	}
+	merged, err := co.Merge(poll, *threshold)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(merged)
+}
+
+func load(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	peersFlag := fs.String("peers", "", "comma-separated fleetd peers")
+	vehicles := fs.Int("vehicles", 10000, "simulated vehicles to uplink")
+	events := fs.Int("events", 64, "events per vehicle trace")
+	seed := fs.Uint64("seed", 1, "load corpus seed")
+	workers := fs.Int("workers", 8, "concurrent uplink workers")
+	batchBytes := fs.Int("batch-bytes", 256<<10, "client batch size")
+	fs.Parse(args)
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	ring, err := cluster.NewRing(peers, 0)
+	if err != nil {
+		return err
+	}
+	metrics := telemetry.New()
+	client := cluster.NewClient(ring, cluster.ClientOptions{
+		MaxBatchBytes: *batchBytes,
+		Seed:          *seed,
+		Telemetry:     metrics,
+	})
+	gen := cluster.LoadGen{Seed: *seed, EventsPerVehicle: *events}
+
+	if *workers < 1 {
+		*workers = 1
+	}
+	start := time.Now()
+	var next, uplinkErrs atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := int(next.Add(1))
+				if v > *vehicles || ctx.Err() != nil {
+					return
+				}
+				if err := client.AddTrace(ctx, v, gen.VehicleTrace(v)); err != nil {
+					uplinkErrs.Add(1)
+					log.Printf("vehicle %d: %v", v, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := client.Flush(ctx); err != nil {
+		uplinkErrs.Add(1)
+		log.Printf("flush: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	st := client.Stats()
+	log.Printf("uplinked %d vehicles, %d events in %d batches over %d peers in %v (%.0f events/s; %d retries, %d rejected, %d dropped batches)",
+		*vehicles, st.Events, st.Batches, len(peers), elapsed.Round(time.Millisecond),
+		float64(st.Events)/elapsed.Seconds(), st.Retries, st.Rejected, st.DroppedBatches)
+	if uplinkErrs.Load() > 0 {
+		return fmt.Errorf("%d uplink errors", uplinkErrs.Load())
+	}
+	return ctx.Err()
+}

@@ -4,11 +4,17 @@
 // baseline, the Section V-C 20-80 software concentration, per-FRU trust
 // trajectories and Fig. 8 pattern statistics.
 //
-//	POST /v1/ingest        NDJSON trace events (429 when the queue is full)
-//	GET  /v1/fleet/summary fleet aggregate (?threshold= optional)
-//	GET  /v1/fru/{id}      per-FRU drill-down (id URL-escaped)
-//	GET  /v1/healthz       liveness + ingestion counters
-//	GET  /v1/metrics       telemetry snapshot (?format=expvar for flat JSON)
+//	POST /v1/ingest         NDJSON trace events (429 + Retry-After when the queue is full)
+//	GET  /v1/fleet/summary  fleet aggregate (?threshold= optional)
+//	GET  /v1/fleet/snapshot canonical mergeable shard state (cluster coordination)
+//	GET  /v1/fru/{id}       per-FRU drill-down (id URL-escaped)
+//	GET  /v1/healthz        liveness + ingestion counters
+//	GET  /v1/metrics        telemetry snapshot (?format=expvar for flat JSON)
+//
+// As a cluster shard the daemon needs no extra configuration: ingest
+// routing is the clients' job (consistent-hash ring over the peer list)
+// and the merged view is the coordinator's (decos-fleetctl coordinate).
+// -peer-name labels this shard's snapshot exports for attribution.
 //
 // With -demo-vehicles N the daemon pre-populates itself by running an
 // N-vehicle traced campaign on all CPUs and ingesting the streams — a
@@ -48,6 +54,8 @@ func main() {
 		maxBodyBytes = flag.Int64("max-body-bytes", 0, "ingest request body cap (0 = default 256 MiB)")
 		threshold    = flag.Float64("threshold", warranty.DefaultThreshold,
 			"systematic-fault vehicle share for summaries")
+		peerName     = flag.String("peer-name", "", "shard label stamped on /v1/fleet/snapshot exports")
+		retryAfter   = flag.Int("retry-after", 0, "Retry-After seconds sent with 429 (0 = default 1, negative = 0)")
 		demoVehicles = flag.Int("demo-vehicles", 0, "pre-populate with an N-vehicle traced campaign")
 		demoRounds   = flag.Int64("demo-rounds", 3000, "rounds per demo vehicle")
 		demoSeed     = flag.Uint64("demo-seed", 20050404, "demo campaign seed")
@@ -87,6 +95,8 @@ func main() {
 		MaxLineBytes: *maxLineBytes,
 		MaxBodyBytes: *maxBodyBytes,
 		Threshold:    *threshold,
+		RetryAfter:   *retryAfter,
+		PeerName:     *peerName,
 		Telemetry:    metrics,
 	})
 	srv := &http.Server{

@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"decos/internal/telemetry"
+	"decos/internal/warranty"
+)
+
+// CoordinatorOptions tunes the merge side. Zero values select defaults.
+type CoordinatorOptions struct {
+	// PeerTimeout bounds one snapshot attempt against one peer (default
+	// 5 s). A peer slower than this is treated as down for the poll.
+	PeerTimeout time.Duration
+	// Retries is how many times a failed snapshot fetch is re-attempted
+	// after the first try (default 2), with Backoff between attempts
+	// (default 100 ms, doubling).
+	Retries int
+	Backoff time.Duration
+	// HTTPClient performs the snapshot GETs (default: a fresh client;
+	// per-attempt deadlines come from PeerTimeout).
+	HTTPClient *http.Client
+	// Threshold is the systematic-fault share for merged summaries
+	// (warranty.DefaultThreshold when 0); overridable per request with
+	// ?threshold= exactly like a single fleetd node.
+	Threshold float64
+	// SnapshotPath is the peers' snapshot route (default
+	// "/v1/fleet/snapshot").
+	SnapshotPath string
+	// Telemetry, when non-nil, receives per-peer snapshot latency
+	// histograms and poll/merge counters, and is served on /v1/metrics.
+	Telemetry *telemetry.Registry
+}
+
+// PeerStatus reports one peer's part in the most recent poll.
+type PeerStatus struct {
+	Peer      string `json:"peer"`
+	OK        bool   `json:"ok"`
+	Error     string `json:"error,omitempty"`
+	Attempts  int    `json:"attempts"`
+	Vehicles  int    `json:"vehicles"`
+	Events    int64  `json:"events"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+// Coverage qualifies a merged summary that is missing shards. It is only
+// attached when coverage is partial, so a healthy cluster's summary stays
+// byte-identical to a single node's.
+type Coverage struct {
+	Peers           int      `json:"peers"`
+	PeersOK         int      `json:"peers_ok"`
+	VehiclesCovered int      `json:"vehicles_covered"`
+	Partial         bool     `json:"partial"`
+	FailedPeers     []string `json:"failed_peers,omitempty"`
+}
+
+// MergedSummary is the coordinator's summary response: the warranty
+// summary fields inline, plus an explicit cluster coverage block when any
+// shard is missing.
+type MergedSummary struct {
+	*warranty.Summary
+	Cluster *Coverage `json:"cluster,omitempty"`
+}
+
+// PollResult is everything one poll of the cluster produced.
+type PollResult struct {
+	Snapshots []*warranty.Snapshot // one per reachable, valid peer
+	Status    []PeerStatus         // one per peer, ring order
+}
+
+// Coverage summarises the poll as the coverage block a merged summary
+// would carry.
+func (p *PollResult) Coverage() Coverage {
+	cov := Coverage{Peers: len(p.Status)}
+	for _, st := range p.Status {
+		if st.OK {
+			cov.PeersOK++
+			cov.VehiclesCovered += st.Vehicles
+		} else {
+			cov.FailedPeers = append(cov.FailedPeers, st.Peer)
+		}
+	}
+	cov.Partial = cov.PeersOK < cov.Peers
+	return cov
+}
+
+// Coordinator polls every peer's snapshot endpoint and serves the merged
+// fleet view. It owns no vehicle state of its own: every poll re-derives
+// the view from the shards, so a restarted coordinator is immediately
+// consistent.
+type Coordinator struct {
+	ring *Ring
+	opts CoordinatorOptions
+	mux  *http.ServeMux
+
+	polls      *telemetry.Counter
+	merges     *telemetry.Counter
+	peerErrors *telemetry.Counter
+	retries    *telemetry.Counter
+	snapNS     []*telemetry.Histogram
+}
+
+// NewCoordinator builds a coordinator over the same peer list the ingest
+// clients use; the shared canonical ring is what makes "every vehicle on
+// exactly one peer" checkable at merge time.
+func NewCoordinator(peers []string, opts CoordinatorOptions) (*Coordinator, error) {
+	ring, err := NewRing(peers, 0)
+	if err != nil {
+		return nil, err
+	}
+	if opts.PeerTimeout <= 0 {
+		opts.PeerTimeout = 5 * time.Second
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = &http.Client{}
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = warranty.DefaultThreshold
+	}
+	if opts.SnapshotPath == "" {
+		opts.SnapshotPath = "/v1/fleet/snapshot"
+	}
+	c := &Coordinator{
+		ring: ring,
+		opts: opts,
+		mux:  http.NewServeMux(),
+
+		polls:      opts.Telemetry.Counter("cluster.polls"),
+		merges:     opts.Telemetry.Counter("cluster.merges"),
+		peerErrors: opts.Telemetry.Counter("cluster.peer_errors"),
+		retries:    opts.Telemetry.Counter("cluster.snapshot_retries"),
+	}
+	for _, p := range ring.Peers() {
+		c.snapNS = append(c.snapNS, opts.Telemetry.Histogram("cluster.snapshot_ns."+p))
+	}
+	c.mux.HandleFunc("GET /v1/fleet/summary", c.handleSummary)
+	c.mux.HandleFunc("GET /v1/cluster/healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /v1/cluster/ring", c.handleRing)
+	if opts.Telemetry != nil {
+		c.mux.Handle("GET /v1/metrics", opts.Telemetry.Handler())
+	}
+	return c, nil
+}
+
+// Ring returns the coordinator's routing ring.
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) { c.mux.ServeHTTP(w, r) }
+
+// Poll fetches a snapshot from every peer concurrently, with per-peer
+// timeout and bounded retries. Unreachable, slow or invalid peers do not
+// fail the poll — they are reported per peer so the caller can decide
+// whether a partial view is acceptable.
+func (c *Coordinator) Poll(ctx context.Context) *PollResult {
+	c.polls.Inc()
+	peers := c.ring.Peers()
+	res := &PollResult{Status: make([]PeerStatus, len(peers))}
+	snaps := make([]*warranty.Snapshot, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			snaps[i], res.Status[i] = c.fetch(ctx, i, peer)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, s := range snaps {
+		if s != nil {
+			res.Snapshots = append(res.Snapshots, s)
+		}
+	}
+	return res
+}
+
+// fetch is one peer's snapshot with retries; invalid payloads count as
+// peer failures (the peer is attributed, not the cluster).
+func (c *Coordinator) fetch(ctx context.Context, idx int, peer string) (*warranty.Snapshot, PeerStatus) {
+	st := PeerStatus{Peer: peer}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Inc()
+			wait := c.opts.Backoff << uint(attempt-1)
+			if err := sleepCtx(ctx, wait); err != nil {
+				break
+			}
+		}
+		st.Attempts++
+		start := time.Now()
+		snap, err := c.fetchOnce(ctx, peer)
+		lat := time.Since(start).Nanoseconds()
+		c.snapNS[idx].Observe(lat)
+		if err == nil {
+			st.OK = true
+			st.Error = ""
+			st.Vehicles = len(snap.Vehicles)
+			st.Events = snap.Events
+			st.LatencyNS = lat
+			return snap, st
+		}
+		lastErr = err
+		st.LatencyNS = lat
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.peerErrors.Inc()
+	st.Error = lastErr.Error()
+	return nil, st
+}
+
+func (c *Coordinator) fetchOnce(ctx context.Context, peer string) (*warranty.Snapshot, error) {
+	attemptCtx, cancel := context.WithTimeout(ctx, c.opts.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodGet, peer+c.opts.SnapshotPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("snapshot status %d", resp.StatusCode)
+	}
+	var snap warranty.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("snapshot decode: %w", err)
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, fmt.Errorf("snapshot invalid: %w", err)
+	}
+	return &snap, nil
+}
+
+// Merge folds a poll into the cluster-wide summary. With full coverage
+// the result is byte-identical to a single node over the same events and
+// the coverage block is omitted; with partial coverage the summary spans
+// the reachable shards and says so explicitly. Zero reachable peers is an
+// error — an empty fleet and an unreachable fleet must not look alike.
+func (c *Coordinator) Merge(poll *PollResult, threshold float64) (*MergedSummary, error) {
+	if len(poll.Snapshots) == 0 {
+		return nil, fmt.Errorf("cluster: no peers reachable (%d polled)", len(poll.Status))
+	}
+	if threshold <= 0 {
+		threshold = c.opts.Threshold
+	}
+	sum, err := warranty.MergeSnapshots(poll.Snapshots, threshold)
+	if err != nil {
+		return nil, err
+	}
+	c.merges.Inc()
+	out := &MergedSummary{Summary: sum}
+	if cov := poll.Coverage(); cov.Partial {
+		out.Cluster = &cov
+	}
+	return out, nil
+}
+
+// writeJSON matches warranty's encoder exactly — two-space indent,
+// trailing newline — so a healthy cluster's merged summary is
+// byte-identical to a single node's response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (c *Coordinator) handleSummary(w http.ResponseWriter, r *http.Request) {
+	threshold := c.opts.Threshold
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil || v <= 0 || v > 1 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "threshold must be in (0,1]"})
+			return
+		}
+		threshold = v
+	}
+	poll := c.Poll(r.Context())
+	merged, err := c.Merge(poll, threshold)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	poll := c.Poll(r.Context())
+	cov := poll.Coverage()
+	status := "ok"
+	code := http.StatusOK
+	switch {
+	case cov.PeersOK == 0:
+		status = "down"
+		code = http.StatusServiceUnavailable
+	case cov.Partial:
+		status = "degraded"
+	}
+	writeJSON(w, code, struct {
+		Status   string       `json:"status"`
+		Coverage Coverage     `json:"coverage"`
+		Peers    []PeerStatus `json:"peer_status"`
+	}{status, cov, poll.Status})
+}
+
+func (c *Coordinator) handleRing(w http.ResponseWriter, r *http.Request) {
+	peers := c.ring.Peers()
+	spread := c.ring.Spread(10000)
+	type peerInfo struct {
+		Peer         string  `json:"peer"`
+		VirtualNodes int     `json:"virtual_nodes"`
+		SampleShare  float64 `json:"sample_share"`
+	}
+	out := struct {
+		Peers        []peerInfo `json:"peers"`
+		VirtualNodes int        `json:"virtual_nodes_per_peer"`
+		Samples      int        `json:"spread_samples"`
+	}{VirtualNodes: c.ring.VirtualNodes(), Samples: 10000}
+	sort.Strings(peers)
+	for _, p := range peers {
+		out.Peers = append(out.Peers, peerInfo{
+			Peer:         p,
+			VirtualNodes: c.ring.VirtualNodes(),
+			SampleShare:  float64(spread[p]) / 10000,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

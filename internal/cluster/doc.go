@@ -1,0 +1,34 @@
+// Package cluster is the distribution layer that turns the single-process
+// warranty daemon into a horizontally sharded service — the fleet-scale
+// deployment the paper's Section V-B warranty arm assumes when it talks
+// about correlating maintenance evidence over millions of vehicles.
+//
+// Three pieces, all stdlib-only:
+//
+//   - Ring: a consistent-hash ring over fleetd peers. Vehicles hash onto
+//     the ring; each peer owns the arc behind its virtual nodes. Clients
+//     and coordinator construct the ring from the same peer list and agree
+//     on ownership without any coordination traffic.
+//
+//   - Client: the uplink side. Routes each vehicle's NDJSON trace to its
+//     owning peer, batches per peer, and retries rejected or failed
+//     batches with jittered exponential backoff, honouring the server's
+//     Retry-After hint on 429.
+//
+//   - Coordinator: the query side. Polls every peer's
+//     GET /v1/fleet/snapshot (per-peer timeout, bounded retries), folds
+//     the shards' fleet tallies with fleet.Tally.Merge and their vehicle
+//     states through the same summary fold a single node runs, and serves
+//     the merged /v1/fleet/summary — bit-identical to a single-node run
+//     over the same events, for any shard count and any merge order.
+//     Failed, slow or corrupt peers degrade the view explicitly: the
+//     response carries a cluster coverage block instead of silently
+//     serving a short fleet.
+//
+// The determinism argument is split across two invariants: per-vehicle
+// state is accumulated in stream order on exactly one peer (the ring's
+// partition law), and the cross-vehicle fold orders vehicles ascending on
+// whichever node runs it (warranty.summarize). Integer-only state — the
+// fleet tally — additionally merges order-insensitively, which is what
+// lets the coordinator fold shards in any order.
+package cluster

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"decos/internal/sim"
+	"decos/internal/trace"
+)
+
+// LoadGen synthesises per-vehicle NDJSON traces for cluster load tests.
+// Generation is deterministic per (Seed, vehicle) and independent of
+// generation order, so millions of vehicles can be produced from any
+// number of workers and re-runs are exactly reproducible. The events are
+// shaped like a real campaign trace — header, frames, symptoms, trust
+// samples, verdicts (some job-inherent, driving fleet incidents), truth
+// and advice records — so the shards exercise their full ingest path, not
+// a synthetic fast path.
+type LoadGen struct {
+	// Seed is the corpus identity; the same seed regenerates the same
+	// fleet (default 1).
+	Seed uint64
+	// EventsPerVehicle sizes one vehicle's trace (default 64).
+	EventsPerVehicle int
+}
+
+var (
+	loadgenSymptoms = []string{"crash", "omission", "value", "babbling"}
+	loadgenClasses  = []string{"job-inherent-software", "job-inherent-sensor", "component-external", "job-external"}
+	loadgenActions  = []string{"update-software", "inspect-transducer", "inspect-connector", "no-action"}
+	loadgenPatterns = []string{"stuck-at", "drift", "intermittent"}
+)
+
+// VehicleTrace returns one vehicle's NDJSON blob.
+func (g LoadGen) VehicleTrace(vehicle int) []byte {
+	seed := g.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	n := g.EventsPerVehicle
+	if n <= 0 {
+		n = 64
+	}
+	rng := sim.NewRNG(seed ^ hashVehicle(vehicle))
+
+	var buf bytes.Buffer
+	w := func(e trace.Event) {
+		e.Vehicle = vehicle
+		b, _ := json.Marshal(&e)
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+
+	detail := ""
+	if rng.Float64() < 0.2 {
+		detail = "fault-free"
+	}
+	w(trace.Event{T: 0, Kind: "vehicle", Detail: detail})
+	if detail == "" {
+		class := loadgenClasses[rng.Intn(len(loadgenClasses))]
+		subject := fmt.Sprintf("job[das/job@%d]", rng.Intn(4))
+		w(trace.Event{T: 1, Kind: "truth", Class: class, Subject: subject, Detail: "injected"})
+		w(trace.Event{T: 2, Kind: "advice", Source: "decos", Subject: subject,
+			Action: loadgenActions[rng.Intn(len(loadgenActions))], Class: class})
+		w(trace.Event{T: 3, Kind: "advice", Source: "obd", Subject: subject,
+			Action: loadgenActions[rng.Intn(len(loadgenActions))], Class: class})
+	}
+
+	t := int64(10)
+	for i := 0; i < n; i++ {
+		t += int64(100 + rng.Intn(400))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // half the stream is frame traffic
+			sender, slot := rng.Intn(4), rng.Intn(8)
+			round := t / 1000
+			w(trace.Event{T: t, Kind: "frame", Sender: &sender, Slot: &slot, Round: &round, Status: "failed"})
+		case 5, 6:
+			obs := rng.Intn(4)
+			w(trace.Event{T: t, Kind: "symptom",
+				Symptom:  loadgenSymptoms[rng.Intn(len(loadgenSymptoms))],
+				Subject:  fmt.Sprintf("component[%d]", rng.Intn(4)),
+				Observer: &obs, Count: 1 + rng.Intn(3), Dev: rng.Float64()})
+		case 7, 8:
+			tv := 0.5 + 0.5*rng.Float64()
+			w(trace.Event{T: t, Kind: "trust",
+				Subject: fmt.Sprintf("component[%d]", rng.Intn(4)), Trust: &tv})
+		default:
+			class := "component-borderline"
+			subject := fmt.Sprintf("component[%d]", rng.Intn(4))
+			action := "inspect-connector"
+			if rng.Float64() < 0.3 { // fleet-relevant: a job-inherent software verdict
+				class = "job-inherent-software"
+				subject = fmt.Sprintf("job[das/job@%d]", rng.Intn(4))
+				action = "update-software"
+			}
+			w(trace.Event{T: t, Kind: "verdict", Subject: subject, Class: class,
+				Pattern: loadgenPatterns[rng.Intn(len(loadgenPatterns))],
+				Action:  action, Conf: 0.5 + 0.5*rng.Float64()})
+		}
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingCanonicalAcrossPeerOrder(t *testing.T) {
+	a, err := NewRing([]string{"http://p1", "http://p2", "http://p3", "http://p4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://p4", "http://p2", "http://p1", "http://p3", "http://p2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Peers(), b.Peers()
+	if len(pa) != 4 || len(pa) != len(pb) {
+		t.Fatalf("peer lists differ: %v vs %v", pa, pb)
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("peer lists differ at %d: %v vs %v", i, pa, pb)
+		}
+	}
+	for v := 1; v <= 5000; v++ {
+		if a.Owner(v) != b.Owner(v) {
+			t.Fatalf("vehicle %d owned by %s vs %s — ring is not canonical", v, a.Owner(v), b.Owner(v))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"http://p1", "http://p2", "http://p3", "http://p4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 10000
+	spread := r.Spread(samples)
+	want := samples / 4
+	for peer, n := range spread {
+		if n < want/2 || n > want*2 {
+			t.Errorf("peer %s owns %d of %d vehicles (ideal %d) — ring badly unbalanced", peer, n, samples, want)
+		}
+	}
+	total := 0
+	for _, n := range spread {
+		total += n
+	}
+	if total != samples {
+		t.Fatalf("spread covers %d of %d vehicles", total, samples)
+	}
+}
+
+// TestRingStability: removing one peer must only remap vehicles that peer
+// owned — everyone else keeps their shard. This is the property that makes
+// the hash "consistent" rather than modulo.
+func TestRingStability(t *testing.T) {
+	peers := []string{"http://p1", "http://p2", "http://p3", "http://p4"}
+	full, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(peers[:3], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for v := 1; v <= 10000; v++ {
+		before := full.Owner(v)
+		after := reduced.Owner(v)
+		if before == "http://p4" {
+			continue // p4's vehicles must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d vehicles not owned by the removed peer were remapped", moved)
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://p1", ""}, 0); err == nil {
+		t.Fatal("empty peer address accepted")
+	}
+}

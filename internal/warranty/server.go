@@ -28,6 +28,14 @@ type ServerOptions struct {
 	// (DefaultThreshold when 0); overridable per request with
 	// ?threshold=.
 	Threshold float64
+	// RetryAfter is the hint sent with every 429 rejection, in whole
+	// seconds (Retry-After header), so clients back off on the server's
+	// schedule instead of guessing. 0 selects the 1 s default; negative
+	// sends an immediate-retry hint of 0 s (load tests).
+	RetryAfter int
+	// PeerName labels this shard in /v1/fleet/snapshot exports — how a
+	// cluster coordinator attributes a corrupt or duplicated snapshot.
+	PeerName string
 	// Telemetry is the metrics registry the server publishes into and
 	// serves on GET /v1/metrics. Nil creates a private registry: unlike
 	// the simulator hot path, the HTTP front end always observes itself.
@@ -36,11 +44,12 @@ type ServerOptions struct {
 
 // Server exposes a Collector over HTTP (stdlib only):
 //
-//	POST /v1/ingest        NDJSON trace events; 429 when the queue is full
-//	GET  /v1/fleet/summary fleet aggregate (?threshold= optional)
-//	GET  /v1/fru/{id}      per-FRU drill-down (id URL-escaped)
-//	GET  /v1/healthz       liveness + ingestion counters
-//	GET  /v1/metrics       telemetry snapshot (?format=expvar for the flat view)
+//	POST /v1/ingest         NDJSON trace events; 429 + Retry-After when the queue is full
+//	GET  /v1/fleet/summary  fleet aggregate (?threshold= optional)
+//	GET  /v1/fleet/snapshot canonical mergeable shard state (cluster coordination)
+//	GET  /v1/fru/{id}       per-FRU drill-down (id URL-escaped)
+//	GET  /v1/healthz        liveness + ingestion counters
+//	GET  /v1/metrics        telemetry snapshot (?format=expvar for the flat view)
 //
 // The healthz ingestion counters are read from the same telemetry
 // registry the metrics endpoint serves, so liveness and metrics can never
@@ -52,12 +61,16 @@ type Server struct {
 	inflight atomic.Int64
 	mux      *http.ServeMux
 
-	metrics        *telemetry.Registry
-	ingestRequests *telemetry.Counter
-	ingestRejected *telemetry.Counter
-	ingestEvents   *telemetry.Counter
-	ingestCorrupt  *telemetry.Counter
-	ingestNS       *telemetry.Histogram
+	retryAfter string
+
+	metrics          *telemetry.Registry
+	ingestRequests   *telemetry.Counter
+	ingestRejected   *telemetry.Counter
+	ingestEvents     *telemetry.Counter
+	ingestCorrupt    *telemetry.Counter
+	ingestNS         *telemetry.Histogram
+	snapshotRequests *telemetry.Counter
+	snapshotNS       *telemetry.Histogram
 }
 
 // NewServer wraps a collector with the HTTP API.
@@ -74,18 +87,27 @@ func NewServer(c *Collector, opts ServerOptions) *Server {
 	if opts.Telemetry == nil {
 		opts.Telemetry = telemetry.New()
 	}
+	switch {
+	case opts.RetryAfter == 0:
+		opts.RetryAfter = 1
+	case opts.RetryAfter < 0:
+		opts.RetryAfter = 0
+	}
 	s := &Server{
-		c:    c,
-		opts: opts,
-		sem:  make(chan struct{}, opts.MaxInflight),
-		mux:  http.NewServeMux(),
+		c:          c,
+		opts:       opts,
+		sem:        make(chan struct{}, opts.MaxInflight),
+		mux:        http.NewServeMux(),
+		retryAfter: strconv.Itoa(opts.RetryAfter),
 
-		metrics:        opts.Telemetry,
-		ingestRequests: opts.Telemetry.Counter("ingest.requests"),
-		ingestRejected: opts.Telemetry.Counter("ingest.rejected"),
-		ingestEvents:   opts.Telemetry.Counter("ingest.events"),
-		ingestCorrupt:  opts.Telemetry.Counter("ingest.corrupt_lines"),
-		ingestNS:       opts.Telemetry.Histogram("ingest.request_ns"),
+		metrics:          opts.Telemetry,
+		ingestRequests:   opts.Telemetry.Counter("ingest.requests"),
+		ingestRejected:   opts.Telemetry.Counter("ingest.rejected"),
+		ingestEvents:     opts.Telemetry.Counter("ingest.events"),
+		ingestCorrupt:    opts.Telemetry.Counter("ingest.corrupt_lines"),
+		ingestNS:         opts.Telemetry.Histogram("ingest.request_ns"),
+		snapshotRequests: opts.Telemetry.Counter("snapshot.requests"),
+		snapshotNS:       opts.Telemetry.Histogram("snapshot.request_ns"),
 	}
 	// Store-derived values are computed at snapshot time: the collector's
 	// own atomics (and per-shard locks) are the one source of truth.
@@ -101,6 +123,7 @@ func NewServer(c *Collector, opts ServerOptions) *Server {
 
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/fleet/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /v1/fleet/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/fru/{id...}", s.handleFRU)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.Handle("GET /v1/metrics", opts.Telemetry.Handler())
@@ -130,7 +153,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 	default:
 		s.ingestRejected.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter)
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "ingest queue full"})
 		return
 	}
@@ -167,6 +190,16 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		threshold = v
 	}
 	writeJSON(w, http.StatusOK, s.c.Summary(threshold))
+}
+
+// handleSnapshot serves the shard's complete mergeable state in the
+// canonical versioned encoding — the coordination interface of a sharded
+// fleetd cluster.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.snapshotRequests.Inc()
+	start := time.Now()
+	writeJSON(w, http.StatusOK, s.c.Snapshot(s.opts.PeerName))
+	s.snapshotNS.Observe(time.Since(start).Nanoseconds())
 }
 
 func (s *Server) handleFRU(w http.ResponseWriter, r *http.Request) {

@@ -111,23 +111,28 @@ func (c *Collector) unlockAll() {
 	}
 }
 
-// sortedVehicles returns (id, state) pairs in ascending vehicle order.
-// Callers hold all stripe locks. The fixed order makes every floating-
-// point accumulation below independent of ingestion concurrency.
-func (c *Collector) sortedVehicles() []struct {
+// vehicleEntry pairs a vehicle id with its retained state — the unit the
+// summary fold consumes, whether the states live in this collector or were
+// reassembled from peer snapshots.
+type vehicleEntry struct {
 	id int
 	st *vehicleState
-} {
-	var out []struct {
-		id int
-		st *vehicleState
-	}
+}
+
+// storeTotals carries the collector-level ingestion counters into a
+// summary fold.
+type storeTotals struct {
+	events, corrupt, malformed int64
+}
+
+// sortedVehicles returns (id, state) pairs in ascending vehicle order.
+// Callers hold all stripe locks. The fixed order makes every floating-
+// point accumulation of the fold independent of ingestion concurrency.
+func (c *Collector) sortedVehicles() []vehicleEntry {
+	var out []vehicleEntry
 	for _, sh := range c.shards {
 		for id, st := range sh.vehicles {
-			out = append(out, struct {
-				id int
-				st *vehicleState
-			}{id, st})
+			out = append(out, vehicleEntry{id, st})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
@@ -137,18 +142,33 @@ func (c *Collector) sortedVehicles() []struct {
 // Summary computes the fleet aggregate. threshold is the systematic-fault
 // share (≤ 0 uses DefaultThreshold).
 func (c *Collector) Summary(threshold float64) *Summary {
+	c.lockAll()
+	defer c.unlockAll()
+	return summarize(c.sortedVehicles(),
+		storeTotals{c.events.Load(), c.corrupt.Load(), c.malformed.Load()},
+		threshold, nil)
+}
+
+// summarize is the one fold that turns per-vehicle states into the fleet
+// Summary. vehicles must be sorted ascending by id: the fixed order pins
+// every floating-point accumulation, which is what makes a coordinator's
+// merged summary bit-identical to a single collector's — both run exactly
+// this function over exactly this ordering.
+//
+// pre, when non-nil, is a pre-merged fleet tally (coordinator path:
+// per-shard tallies folded with fleet.Tally.Merge); nil rebuilds the tally
+// from the vehicles' incident lists (single-collector path). The two are
+// interchangeable because the tally is pure integer state — the property
+// TestTallyMergeOrderInsensitive pins.
+func summarize(vehicles []vehicleEntry, totals storeTotals, threshold float64, pre *fleet.Tally) *Summary {
 	if threshold <= 0 {
 		threshold = DefaultThreshold
 	}
-	c.lockAll()
-	defer c.unlockAll()
-
-	vehicles := c.sortedVehicles()
 	s := &Summary{
 		Vehicles:     len(vehicles),
-		Events:       c.events.Load(),
-		CorruptLines: c.corrupt.Load(),
-		Malformed:    c.malformed.Load(),
+		Events:       totals.events,
+		CorruptLines: totals.corrupt,
+		Malformed:    totals.malformed,
 		Arms:         make(map[string]*Arm),
 	}
 
@@ -163,7 +183,10 @@ func (c *Collector) Summary(threshold float64) *Summary {
 			}
 		}
 	}
-	tally := fleet.NewTally()
+	tally := pre
+	if tally == nil {
+		tally = fleet.NewTally()
+	}
 	type patAgg struct {
 		count    int
 		sumConf  float64
@@ -209,9 +232,12 @@ func (c *Collector) Summary(threshold float64) *Summary {
 			}
 		}
 
-		// Section V-C fleet correlation.
-		for _, job := range st.incidents {
-			tally.Observe(v.id, job)
+		// Section V-C fleet correlation (already folded when a pre-merged
+		// tally was handed in).
+		if pre == nil {
+			for _, job := range st.incidents {
+				tally.Observe(v.id, job)
+			}
 		}
 
 		// Fig. 8 pattern signatures.

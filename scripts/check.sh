@@ -31,4 +31,10 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/scenario/... ./internal/warranty/... ./internal/engine/... ./internal/telemetry/...
 
+echo "== go test -race (cluster integration) =="
+# -short skips only the E13-scale corpus test, which the plain `go test`
+# leg above already runs; the 3-peer client/coordinator integration path
+# stays race-checked here.
+go test -race -short ./internal/cluster/...
+
 echo "OK"

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Cluster scaling benchmark (`make cluster-bench`): runs
+# BenchmarkClusterIngest (delivered uplink throughput against
+# latency-bound shard peers) for 1 and 4 shards, then uses
+# cmd/decos-benchcmp to report the 4-shard run against the single-shard
+# run as the baseline. With -gate RATIO the comparison becomes the scaling
+# gate: -gate 0.5 demands the 4-shard cluster at least halve ns/op, i.e.
+# deliver at least 2x the events/sec of a single shard.
+#
+# Usage:
+#   scripts/cluster-bench.sh [-o REPORT.json] [-gate RATIO] [-benchtime 1s]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=""
+GATE=""
+BENCHTIME="1s"
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -o) OUT=$2; shift ;;
+    -gate) GATE=$2; shift ;;
+    -benchtime) BENCHTIME=$2; shift ;;
+    *)
+        echo "usage: scripts/cluster-bench.sh [-o report.json] [-gate ratio] [-benchtime 1s]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+RAW=$(mktemp "${TMPDIR:-/tmp}/decos-cluster-bench.XXXXXX")
+ONE=$(mktemp "${TMPDIR:-/tmp}/decos-cluster-one.XXXXXX")
+FOUR=$(mktemp "${TMPDIR:-/tmp}/decos-cluster-four.XXXXXX")
+trap 'rm -f "$RAW" "$ONE" "$FOUR"' EXIT
+
+go test -run='^$' -bench '^BenchmarkClusterIngest$' -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
+
+# decos-benchcmp pairs results by name; strip the shard-count subbench
+# suffix so the single-shard run becomes the baseline the 4-shard run is
+# compared against.
+grep 'BenchmarkClusterIngest/shards=1' "$RAW" | sed 's|/shards=1||' >"$ONE"
+grep 'BenchmarkClusterIngest/shards=4' "$RAW" | sed 's|/shards=4||' >"$FOUR"
+if [ ! -s "$ONE" ] || [ ! -s "$FOUR" ]; then
+    echo "cluster-bench: benchmark produced no comparable output" >&2
+    exit 1
+fi
+
+go run ./cmd/decos-benchcmp -label-old "1-shard" -label-new "4-shard" \
+    ${OUT:+-o "$OUT"} ${GATE:+-max-ns-ratio "$GATE"} "$ONE" "$FOUR"

@@ -1,0 +1,106 @@
+#!/bin/sh
+# Demo of the sharded warranty cluster (`make cluster-demo`): start N
+# decos-fleetd shard peers, uplink a synthetic fleet through the
+# consistent-hash ring client (decos-fleetctl load), start the coordinator
+# (decos-fleetctl coordinate), and curl the merged fleet view, per-peer
+# health and ring layout. Finishes by diffing the coordinator's merged
+# summary against a one-shot poll (decos-fleetctl summary) — the two must
+# agree byte-for-byte.
+#
+# Environment overrides: PEERS (default 3), BASE_PORT (default 18180),
+# COORD_ADDR (default 127.0.0.1:18190), VEHICLES (default 2000),
+# EVENTS (default 48).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PEERS=${PEERS:-3}
+BASE_PORT=${BASE_PORT:-18180}
+COORD_ADDR=${COORD_ADDR:-127.0.0.1:18190}
+VEHICLES=${VEHICLES:-2000}
+EVENTS=${EVENTS:-48}
+
+echo "== building decos-fleetd and decos-fleetctl =="
+go build -o /tmp/decos-fleetd ./cmd/decos-fleetd
+go build -o /tmp/decos-fleetctl ./cmd/decos-fleetctl
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+PEER_LIST=""
+i=0
+while [ "$i" -lt "$PEERS" ]; do
+    port=$((BASE_PORT + i))
+    /tmp/decos-fleetd -addr "127.0.0.1:$port" -peer-name "shard-$i" &
+    PIDS="$PIDS $!"
+    PEER_LIST="${PEER_LIST}${PEER_LIST:+,}127.0.0.1:$port"
+    i=$((i + 1))
+done
+
+echo "== waiting for $PEERS shard peers =="
+i=0
+while [ "$i" -lt "$PEERS" ]; do
+    port=$((BASE_PORT + i))
+    j=0
+    until curl -fsS "http://127.0.0.1:$port/v1/healthz" >/dev/null 2>&1; do
+        j=$((j + 1))
+        if [ "$j" -ge 100 ]; then
+            echo "shard on port $port never became healthy" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+    i=$((i + 1))
+done
+
+echo "== uplinking $VEHICLES synthetic vehicles through the ring client =="
+/tmp/decos-fleetctl load -peers "$PEER_LIST" -vehicles "$VEHICLES" -events "$EVENTS" -workers 8
+
+echo "== starting coordinator on $COORD_ADDR =="
+/tmp/decos-fleetctl coordinate -addr "$COORD_ADDR" -peers "$PEER_LIST" &
+PIDS="$PIDS $!"
+COORD="http://$COORD_ADDR"
+j=0
+until curl -fsS "$COORD/v1/cluster/healthz" >/dev/null 2>&1; do
+    j=$((j + 1))
+    if [ "$j" -ge 100 ]; then
+        echo "coordinator never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo
+echo "== GET /v1/cluster/healthz =="
+curl -fsS "$COORD/v1/cluster/healthz"
+
+echo
+echo "== GET /v1/cluster/ring =="
+curl -fsS "$COORD/v1/cluster/ring"
+
+echo
+echo "== GET /v1/fleet/summary (merged, first 40 lines) =="
+curl -fsS "$COORD/v1/fleet/summary" | head -40
+
+echo
+echo "== merged view vs one-shot poll =="
+curl -fsS "$COORD/v1/fleet/summary" >/tmp/decos-cluster-served.json
+/tmp/decos-fleetctl summary -peers "$PEER_LIST" >/tmp/decos-cluster-oneshot.json
+if ! cmp -s /tmp/decos-cluster-served.json /tmp/decos-cluster-oneshot.json; then
+    echo "served and one-shot merged summaries differ" >&2
+    diff /tmp/decos-cluster-served.json /tmp/decos-cluster-oneshot.json >&2 || true
+    exit 1
+fi
+echo "byte-identical"
+
+echo
+echo "== stopping (SIGTERM) =="
+cleanup
+trap - EXIT
+wait || true
+echo "OK"
