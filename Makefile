@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench benchfull benchall build fmt vet metrics-demo cluster-demo cluster-bench
+.PHONY: check test race bench benchfull benchall build fmt vet metrics-demo cluster-demo cluster-bench ingest-bench
 
 # Commit gate: gofmt (failing), vet, build, full tests, and a targeted
 # -race leg over the concurrent packages (scenario, warranty, engine).
@@ -26,6 +26,7 @@ bench:
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr4.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr5.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr6.json
+	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr7.json
 
 # Full curated benchmark run (steady-state set at default benchtime plus
 # one-shot E8/E13); pass BASELINE=old.txt (bench text or a committed
@@ -55,6 +56,12 @@ cluster-demo:
 # latency-bound shards, gated at >= 2x (the BENCH_pr6.json artifact).
 cluster-bench:
 	./scripts/cluster-bench.sh -gate 0.5
+
+# Ingest-encoding measurement: single-peer trace decode and collector
+# ingest for binary vs NDJSON, gated at >= 5x events/sec (the
+# BENCH_pr7.json artifact).
+ingest-bench:
+	./scripts/ingest-bench.sh -gate 0.2 -o BENCH_pr7.json
 
 fmt:
 	gofmt -w .

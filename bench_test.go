@@ -5,6 +5,7 @@ package decos
 // Run with: go test -bench=. -benchmem
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
@@ -374,6 +375,75 @@ func BenchmarkClusterIngest(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// encodeTraceBlob renders events as one complete stream in the format.
+func encodeTraceBlob(tb testing.TB, events []trace.Event, f trace.Format) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	sink := trace.NewSink(&buf, f)
+	for i := range events {
+		if err := sink.Record(&events[i]); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkTraceDecode is the single-peer decode cost per event — the
+// number the binary codec exists to shrink. One op decodes one event;
+// the ns/op ratio between the sub-benchmarks is the encoding speedup
+// gated in BENCH_pr7.json (binary must decode ≥5x as many events/sec).
+func BenchmarkTraceDecode(b *testing.B) {
+	events := syntheticFleetEvents(64, 256)
+	for _, f := range []trace.Format{trace.FormatNDJSON, trace.FormatBinary} {
+		blob := encodeTraceBlob(b, events, f)
+		b.Run("format="+f.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(blob) / len(events)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rd trace.EventReader
+			decoded := 0
+			for i := 0; i < b.N; i++ {
+				if rd == nil {
+					rd, _ = trace.OpenReader(bytes.NewReader(blob))
+				}
+				if _, err := rd.Next(); err != nil {
+					b.Fatal(err)
+				}
+				if decoded++; decoded == len(events) {
+					rd, decoded = nil, 0 // stream drained: start over
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIngest is the full single-peer ingest path per event — stream
+// decode plus collector fold — from either encoding. The warranty state
+// is identical afterwards whichever sub-benchmark built it.
+func BenchmarkIngest(b *testing.B) {
+	events := syntheticFleetEvents(64, 256)
+	for _, f := range []trace.Format{trace.FormatNDJSON, trace.FormatBinary} {
+		blob := encodeTraceBlob(b, events, f)
+		b.Run("format="+f.String(), func(b *testing.B) {
+			c := warranty.NewCollector(0)
+			b.SetBytes(int64(len(blob) / len(events)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			decoded := 0
+			for decoded < b.N {
+				n, corrupt, err := c.IngestStream(bytes.NewReader(blob), 0)
+				if err != nil || corrupt != 0 || n != len(events) {
+					b.Fatalf("ingest: n=%d corrupt=%d err=%v", n, corrupt, err)
+				}
+				decoded += n
+			}
 		})
 	}
 }

@@ -1,10 +1,13 @@
 // Command decos-fleetd is the fleet-side warranty-analysis daemon (paper
-// Section V-B): it accepts NDJSON diagnostic traces uplinked by vehicles
-// and serves the fleet aggregates — the NFF audit against the OBD
-// baseline, the Section V-C 20-80 software concentration, per-FRU trust
-// trajectories and Fig. 8 pattern statistics.
+// Section V-B): it accepts diagnostic traces uplinked by vehicles — the
+// binary trace encoding (Content-Type application/x-decos-trace) or
+// NDJSON, negotiated per request — and serves the fleet aggregates: the
+// NFF audit against the OBD baseline, the Section V-C 20-80 software
+// concentration, per-FRU trust trajectories and Fig. 8 pattern
+// statistics.
 //
-//	POST /v1/ingest         NDJSON trace events (429 + Retry-After when the queue is full)
+//	POST /v1/ingest         trace events, binary or NDJSON by Content-Type (415 otherwise;
+//	                        429 + Retry-After when the queue is full)
 //	GET  /v1/fleet/summary  fleet aggregate (?threshold= optional)
 //	GET  /v1/fleet/snapshot canonical mergeable shard state (cluster coordination)
 //	GET  /v1/fru/{id}       per-FRU drill-down (id URL-escaped)

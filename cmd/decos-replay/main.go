@@ -1,18 +1,27 @@
-// Command decos-replay reads a JSON-lines event trace written by
-// decos-sim -trace and prints the offline analysis a warranty engineer
-// would start from: the incident inventory, per-FRU symptom totals, the
-// verdict timeline and the trust endpoints (paper Section V-B: off-line
-// analysis of field data informs fault-pattern design). Corrupt lines
-// are skipped so the analysis still prints, but each skipped line is
-// reported to stderr with its line number and the replay exits non-zero
-// — a silently damaged field trace must not pass for a clean one.
+// Command decos-replay reads an event trace written by decos-sim -trace —
+// either encoding, NDJSON or binary, detected from the first bytes — and
+// prints the offline analysis a warranty engineer would start from: the
+// incident inventory, per-FRU symptom totals, the verdict timeline and
+// the trust endpoints (paper Section V-B: off-line analysis of field data
+// informs fault-pattern design). Corrupt records are skipped so the
+// analysis still prints, but each skipped record is reported to stderr
+// with its record number and the replay exits non-zero — a silently
+// damaged field trace must not pass for a clean one.
+//
+// With -transcode, the trace is converted instead of analysed: an NDJSON
+// trace becomes a binary one and vice versa (override with -format), so
+// recorded corpora move between the archival and the high-volume ingest
+// encodings without re-running a campaign.
 //
 // Usage:
 //
 //	decos-replay trace.jsonl
+//	decos-replay -transcode trace.bin trace.jsonl
+//	decos-replay -transcode back.jsonl -format ndjson trace.bin
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -21,16 +30,27 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: decos-replay <trace.jsonl>")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, `usage: decos-replay [-transcode OUT [-format ndjson|binary]] <trace>`)
+		flag.PrintDefaults()
+	}
+	transcode := flag.String("transcode", "", "convert the trace to `FILE` instead of analysing it")
+	format := flag.String("format", "", "transcode target encoding: ndjson or binary (default: the opposite of the input)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer f.Close()
+
+	if *transcode != "" {
+		os.Exit(runTranscode(f, *transcode, *format))
+	}
 
 	var (
 		kinds      = map[string]int{}
@@ -45,9 +65,9 @@ func main() {
 		total      int
 	)
 
-	// trace.Reader skips undecodable lines instead of aborting the whole
+	// The readers skip undecodable records instead of aborting the whole
 	// replay — a truncated or partly garbled field trace still analyses.
-	rd := trace.NewReader(f)
+	rd, _ := trace.OpenReader(f)
 	err = rd.ReadAll(func(e trace.Event) {
 		total++
 		kinds[e.Kind]++
@@ -122,20 +142,86 @@ func main() {
 	}
 
 	// The analysis above still runs on whatever decoded, but corruption is
-	// an error condition: report every retained recovery error (the Reader
-	// keeps line-numbered detail for the first few, including a flag on a
-	// truncated final line) and exit non-zero.
-	if n := rd.Corrupt(); n > 0 {
-		errs := rd.CorruptErrors()
-		fmt.Fprintf(os.Stderr, "decos-replay: %d corrupt line(s) skipped:\n", n)
-		for _, e := range errs {
-			fmt.Fprintf(os.Stderr, "  %v\n", e)
-		}
-		if n > len(errs) {
-			fmt.Fprintf(os.Stderr, "  ... and %d more\n", n-len(errs))
-		}
+	// an error condition: report every retained recovery error (the readers
+	// keep record-numbered detail for the first few) and exit non-zero.
+	if !reportCorrupt(rd) {
 		os.Exit(1)
 	}
+}
+
+// runTranscode streams the trace into out in the target encoding and
+// returns the process exit code. The default target is the opposite of
+// the detected input encoding; corrupt input records are skipped with the
+// readers' record-numbered errors and force a non-zero exit, like the
+// analysis path.
+func runTranscode(in *os.File, out, format string) int {
+	rd, detected := trace.OpenReader(in)
+	target := trace.FormatBinary
+	if detected == trace.FormatBinary {
+		target = trace.FormatNDJSON
+	}
+	if format != "" {
+		var err error
+		if target, err = trace.ParseFormat(format); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
+	of, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	sink := trace.NewSink(of, target)
+	events, unencodable := 0, 0
+	err = rd.ReadAll(func(e trace.Event) {
+		if serr := sink.Record(&e); serr != nil {
+			unencodable++
+			return
+		}
+		events++
+	})
+	// Closing the sink closes the file: both encodings' sinks own their
+	// writer, and the binary one still has a header to write for an
+	// event-free stream.
+	if cerr := sink.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "transcoding to %s: %v\n", out, err)
+		return 1
+	}
+
+	fmt.Printf("transcoded %d events: %s (%s) -> %s (%s)\n",
+		events, in.Name(), detected, out, target)
+	ok := reportCorrupt(rd)
+	if unencodable > 0 {
+		fmt.Fprintf(os.Stderr, "decos-replay: %d event(s) have no %s layout and were dropped\n", unencodable, target)
+		ok = false
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}
+
+// reportCorrupt prints any retained recovery errors to stderr and
+// reports whether the stream was clean.
+func reportCorrupt(rd trace.EventReader) bool {
+	n := rd.Corrupt()
+	if n == 0 {
+		return true
+	}
+	errs := rd.CorruptErrors()
+	fmt.Fprintf(os.Stderr, "decos-replay: %d corrupt record(s) skipped:\n", n)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "  %v\n", e)
+	}
+	if n > len(errs) {
+		fmt.Fprintf(os.Stderr, "  ... and %d more\n", n-len(errs))
+	}
+	return false
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -40,7 +40,8 @@ func main() {
 	faultName := flag.String("fault", "", "fault kind to inject (empty = healthy)")
 	atMS := flag.Int64("at", 300, "injection time in ms")
 	verbose := flag.Bool("v", false, "print the fault-error-failure chain and symptom stats")
-	tracePath := flag.String("trace", "", "write a JSONL event trace to this file")
+	tracePath := flag.String("trace", "", "write an event trace to this file")
+	traceFormat := flag.String("trace-format", "ndjson", "trace encoding: ndjson or binary")
 	metricsEvery := flag.Int64("metrics", 0, "dump a telemetry snapshot to stderr every N rounds (0 = off)")
 	flag.Parse()
 
@@ -54,14 +55,22 @@ func main() {
 	var rec *trace.Recorder
 	sys := scenario.Fig10With(*seed, diagnosis.Options{}, engine.WithTelemetry(metrics))
 	if *tracePath != "" {
+		format, err := trace.ParseFormat(*traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		sink := trace.NewSink(f, format)
+		// Close the sink (not just the file) on exit: the binary encoding
+		// writes its stream header on close for an event-free run.
+		defer sink.Close()
 		rec = trace.AttachSink(sys.Cluster, sys.Diag, sys.Injector,
-			trace.NewNDJSONSink(f), trace.Options{TrustEveryEpochs: 5})
+			sink, trace.Options{TrustEveryEpochs: 5})
 	}
 
 	var kind scenario.FaultKind = -1

@@ -11,6 +11,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"decos/internal/trace"
 )
 
 // testPeers spins up n ingest sinks that record which vehicles they saw
@@ -19,6 +21,7 @@ type sinkPeer struct {
 	srv     *httptest.Server
 	mu      sync.Mutex
 	bodies  [][]byte
+	cts     []string
 	batches atomic.Int64
 }
 
@@ -32,6 +35,7 @@ func newSinkPeers(t *testing.T, n int) []*sinkPeer {
 			buf.ReadFrom(r.Body)
 			p.mu.Lock()
 			p.bodies = append(p.bodies, append([]byte(nil), buf.Bytes()...))
+			p.cts = append(p.cts, r.Header.Get("Content-Type"))
 			p.mu.Unlock()
 			p.batches.Add(1)
 			w.WriteHeader(http.StatusOK)
@@ -40,6 +44,21 @@ func newSinkPeers(t *testing.T, n int) []*sinkPeer {
 		peers[i] = p
 	}
 	return peers
+}
+
+// countEvents decodes a received batch body in whichever encoding it
+// arrived and returns its event count.
+func countEvents(t *testing.T, body []byte) int {
+	t.Helper()
+	rd, _ := trace.OpenReader(bytes.NewReader(body))
+	n := 0
+	if err := rd.ReadAll(func(trace.Event) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Corrupt() != 0 {
+		t.Fatalf("batch carried %d corrupt records: %v", rd.Corrupt(), rd.CorruptErrors())
+	}
+	return n
 }
 
 func peerURLs(peers []*sinkPeer) []string {
@@ -76,7 +95,12 @@ func TestClientRoutesByRing(t *testing.T) {
 		p.mu.Lock()
 		var got int
 		for _, b := range p.bodies {
-			got += bytes.Count(b, []byte{'\n'})
+			got += countEvents(t, b)
+		}
+		for _, ct := range p.cts {
+			if ct != trace.ContentTypeBinary {
+				t.Errorf("peer %d got Content-Type %q, want the binary default", i, ct)
+			}
 		}
 		p.mu.Unlock()
 		if want := byPeer[peers[i].srv.URL]; got != want {
@@ -93,7 +117,7 @@ func TestClientRoutesByRing(t *testing.T) {
 func TestClientBatching(t *testing.T) {
 	peers := newSinkPeers(t, 1)
 	ring, _ := NewRing(peerURLs(peers), 0)
-	c := NewClient(ring, ClientOptions{MaxBatchBytes: 256})
+	c := NewClient(ring, ClientOptions{MaxBatchBytes: 64})
 
 	line := []byte(`{"t_us":1,"kind":"frame","vehicle":1}` + "\n")
 	for i := 0; i < 20; i++ {
@@ -110,11 +134,102 @@ func TestClientBatching(t *testing.T) {
 	var total int
 	peers[0].mu.Lock()
 	for _, b := range peers[0].bodies {
-		total += bytes.Count(b, []byte{'\n'})
+		total += countEvents(t, b)
 	}
 	peers[0].mu.Unlock()
 	if total != 20 {
 		t.Fatalf("peer received %d events, want 20", total)
+	}
+}
+
+// TestClientNDJSONModeByteCompat: EncodingNDJSON must behave exactly like
+// the pre-binary client — NDJSON blobs pass through byte-for-byte under
+// the NDJSON content type.
+func TestClientNDJSONModeByteCompat(t *testing.T) {
+	peers := newSinkPeers(t, 1)
+	ring, _ := NewRing(peerURLs(peers), 0)
+	c := NewClient(ring, ClientOptions{Encoding: EncodingNDJSON})
+
+	var want bytes.Buffer
+	for v := 1; v <= 5; v++ {
+		blob := []byte(`{"t_us":1,"kind":"frame","vehicle":` + strconv.Itoa(v) + `}`) // no trailing newline
+		want.Write(blob)
+		want.WriteByte('\n')
+		if err := c.AddTrace(context.Background(), v, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	peers[0].mu.Lock()
+	defer peers[0].mu.Unlock()
+	got := bytes.Join(peers[0].bodies, nil)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("NDJSON-mode bytes differ from passthrough:\ngot  %q\nwant %q", got, want.Bytes())
+	}
+	for _, ct := range peers[0].cts {
+		if ct != trace.ContentTypeNDJSON {
+			t.Fatalf("NDJSON-mode Content-Type = %q", ct)
+		}
+	}
+}
+
+// TestClient415Fallback: a peer that refuses the binary encoding gets the
+// same events re-sent as NDJSON on the spot, is remembered as legacy (no
+// further binary attempts), and nothing is lost.
+func TestClient415Fallback(t *testing.T) {
+	var binaryPosts, ndjsonPosts atomic.Int64
+	var mu sync.Mutex
+	var received []byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Content-Type") == trace.ContentTypeBinary {
+			binaryPosts.Add(1)
+			w.WriteHeader(http.StatusUnsupportedMediaType)
+			return
+		}
+		ndjsonPosts.Add(1)
+		var buf bytes.Buffer
+		buf.ReadFrom(r.Body)
+		mu.Lock()
+		received = append(received, buf.Bytes()...)
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	ring, _ := NewRing([]string{srv.URL}, 0)
+	c := NewClient(ring, ClientOptions{MaxBatchBytes: 64, Seed: 7})
+	var slept int
+	c.sleep = func(ctx context.Context, d time.Duration) error { slept++; return nil }
+
+	const n = 20
+	for v := 1; v <= n; v++ {
+		blob := []byte(`{"t_us":1,"kind":"frame","vehicle":` + strconv.Itoa(v) + `}` + "\n")
+		if err := c.AddTrace(context.Background(), v, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := binaryPosts.Load(); got != 1 {
+		t.Errorf("peer saw %d binary attempts, want exactly 1 before the legacy mark", got)
+	}
+	mu.Lock()
+	total := countEvents(t, received)
+	mu.Unlock()
+	if total != n {
+		t.Errorf("peer ingested %d events after fallback, want %d", total, n)
+	}
+	st := c.Stats()
+	if st.Fallbacks != 1 || st.DroppedBatches != 0 || st.Events != n {
+		t.Errorf("stats = %+v, want 1 fallback, 0 drops, %d events", st, n)
+	}
+	if st.Retries != 0 || slept != 0 {
+		t.Errorf("fallback consumed retry budget: %d retries, %d sleeps", st.Retries, slept)
 	}
 }
 

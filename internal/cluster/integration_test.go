@@ -10,6 +10,7 @@ import (
 
 	"decos/internal/scenario"
 	"decos/internal/telemetry"
+	"decos/internal/trace"
 	"decos/internal/warranty"
 )
 
@@ -89,50 +90,29 @@ func TestClusterIntegration(t *testing.T) {
 	}
 }
 
-// TestClusterE13ByteIdentical scales the guarantee to the E13 trace
-// corpus (the experiment the warranty engine was built around): the full
-// 150-vehicle campaign split over a 4-shard cluster must merge to a
-// summary byte-identical to the single-node run. The campaign is run
-// once; the blobs feed both sides.
-func TestClusterE13ByteIdentical(t *testing.T) {
-	if testing.Short() {
-		t.Skip("E13-scale corpus (150 vehicles x 3000 rounds) skipped in -short")
-	}
-	const shards = 4
+// newShardCluster spins up n fleetd shards and a client over them with
+// the given wire encoding.
+func newShardCluster(t *testing.T, n int, enc Encoding, namePrefix string) ([]string, *Client) {
+	t.Helper()
 	var urls []string
-	for i := 0; i < shards; i++ {
+	for i := 0; i < n; i++ {
 		srv := httptest.NewServer(warranty.NewServer(warranty.NewCollector(0), warranty.ServerOptions{
-			PeerName: "shard-" + strconv.Itoa(i),
+			PeerName: namePrefix + strconv.Itoa(i),
 		}))
-		defer srv.Close()
+		t.Cleanup(srv.Close)
 		urls = append(urls, srv.URL)
 	}
 	ring, err := NewRing(urls, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := NewClient(ring, ClientOptions{MaxBatchBytes: 1 << 20})
-	single := warranty.NewCollector(0)
+	return urls, NewClient(ring, ClientOptions{MaxBatchBytes: 1 << 20, Encoding: enc})
+}
 
-	// E13 parameters (internal/experiments/e13_warranty.go).
-	c := scenario.Campaign{
-		Vehicles:       150,
-		Rounds:         3000,
-		Seed:           20050404,
-		FaultFreeShare: 0.2,
-	}
-	c.RunTraced(func(v int, ndjson []byte) {
-		if _, _, err := single.IngestStream(bytes.NewReader(ndjson), 0); err != nil {
-			t.Error(err)
-		}
-		if err := client.AddTrace(context.Background(), v, ndjson); err != nil {
-			t.Error(err)
-		}
-	})
-	if err := client.Flush(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-
+// mergedSummaryJSON polls and merges the shards into the canonical
+// indented summary encoding.
+func mergedSummaryJSON(t *testing.T, urls []string) []byte {
+	t.Helper()
 	co, err := NewCoordinator(urls, CoordinatorOptions{Telemetry: telemetry.New()})
 	if err != nil {
 		t.Fatal(err)
@@ -148,15 +128,60 @@ func TestClusterE13ByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return got
+}
+
+// TestClusterE13ByteIdentical scales the guarantee to the E13 trace
+// corpus (the experiment the warranty engine was built around): the full
+// 150-vehicle campaign split over a 4-shard cluster must merge to a
+// summary byte-identical to the single-node run — whether the traces
+// travel the wire in the binary encoding (the default) or as NDJSON.
+// The campaign is run once; the blobs feed all three sides.
+func TestClusterE13ByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E13-scale corpus (150 vehicles x 3000 rounds) skipped in -short")
+	}
+	const shards = 4
+	binURLs, binClient := newShardCluster(t, shards, EncodingBinary, "shard-bin-")
+	ndURLs, ndClient := newShardCluster(t, shards, EncodingNDJSON, "shard-nd-")
+	single := warranty.NewCollector(0)
+
+	// E13 parameters (internal/experiments/e13_warranty.go).
+	c := scenario.Campaign{
+		Vehicles:       150,
+		Rounds:         3000,
+		Seed:           20050404,
+		FaultFreeShare: 0.2,
+	}
+	c.RunTraced(func(v int, ndjson []byte) {
+		if _, _, err := single.IngestStream(bytes.NewReader(ndjson), 0); err != nil {
+			t.Error(err)
+		}
+		if err := binClient.AddTrace(context.Background(), v, ndjson); err != nil {
+			t.Error(err)
+		}
+		if err := ndClient.AddTrace(context.Background(), v, ndjson); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, cl := range []*Client{binClient, ndClient} {
+		if err := cl.Flush(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := binClient.Stats(); st.CorruptDropped != 0 || st.Fallbacks != 0 {
+		t.Fatalf("binary uplink stats = %+v, want no corrupt drops or fallbacks", st)
+	}
+
 	want, err := json.MarshalIndent(single.Summary(0), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, want) {
-		t.Fatal("E13 4-shard merged summary is not byte-identical to the single-node summary")
-	}
-	if merged.Summary.Vehicles != 150 {
-		t.Fatalf("merged summary covers %d vehicles, want 150", merged.Summary.Vehicles)
+	for name, urls := range map[string][]string{"binary": binURLs, "ndjson": ndURLs} {
+		got := mergedSummaryJSON(t, urls)
+		if !bytes.Equal(got, want) {
+			t.Errorf("E13 4-shard merged summary over the %s wire is not byte-identical to the single-node summary", name)
+		}
 	}
 }
 
@@ -185,5 +210,26 @@ func TestLoadGenDeterministic(t *testing.T) {
 	}
 	if col.Vehicles() != 1 {
 		t.Fatalf("loadgen trace seen as %d vehicles", col.Vehicles())
+	}
+
+	// The binary emission is deterministic too, and carries the identical
+	// event sequence: transcoding it to NDJSON reproduces VehicleTrace
+	// byte-for-byte.
+	ba, bb := g.VehicleTraceBinary(7), g.VehicleTraceBinary(7)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("binary load generator is not deterministic per vehicle")
+	}
+	if bytes.Equal(ba, g.VehicleTraceBinary(8)) {
+		t.Fatal("distinct vehicles produced identical binary traces")
+	}
+	nd, n, corrupt, err := trace.TranscodeBytes(ba, trace.FormatNDJSON)
+	if err != nil || corrupt != 0 {
+		t.Fatalf("binary loadgen transcode: corrupt=%d err=%v", corrupt, err)
+	}
+	if n != events {
+		t.Fatalf("binary trace carries %d events, NDJSON %d", n, events)
+	}
+	if !bytes.Equal(nd, a) {
+		t.Fatal("binary loadgen trace transcoded to NDJSON differs from VehicleTrace")
 	}
 }

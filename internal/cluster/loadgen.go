@@ -34,6 +34,50 @@ var (
 
 // VehicleTrace returns one vehicle's NDJSON blob.
 func (g LoadGen) VehicleTrace(vehicle int) []byte {
+	var buf bytes.Buffer
+	g.emitVehicle(vehicle, func(e trace.Event) {
+		b, _ := json.Marshal(&e)
+		buf.Write(b)
+		buf.WriteByte('\n')
+	})
+	return buf.Bytes()
+}
+
+// VehicleTraceBinary returns the same vehicle trace as VehicleTrace — the
+// identical event sequence, deterministically — encoded as a complete
+// binary trace stream (header included). Transcoding either blob into the
+// other format reproduces the same events.
+func (g LoadGen) VehicleTraceBinary(vehicle int) []byte {
+	var buf bytes.Buffer
+	sink := trace.NewBinarySink(&buf)
+	g.emitVehicle(vehicle, func(e trace.Event) {
+		if err := sink.Record(&e); err != nil {
+			panic("cluster: loadgen emitted an unencodable event: " + err.Error())
+		}
+	})
+	if err := sink.Close(); err != nil {
+		panic("cluster: loadgen binary close: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// EmitVehicle streams one vehicle's events into sink — the allocation-free
+// path for corpus generation (decos-bench writes whole corpora through a
+// single sink this way, one stream header for all vehicles).
+func (g LoadGen) EmitVehicle(vehicle int, sink trace.Sink) error {
+	var err error
+	g.emitVehicle(vehicle, func(e trace.Event) {
+		if err == nil {
+			err = sink.Record(&e)
+		}
+	})
+	return err
+}
+
+// emitVehicle generates the vehicle's event sequence, invoking w per
+// event. Determinism contract: the sequence depends only on (Seed,
+// EventsPerVehicle, vehicle), never on the encoding that consumes it.
+func (g LoadGen) emitVehicle(vehicle int, emit func(trace.Event)) {
 	seed := g.Seed
 	if seed == 0 {
 		seed = 1
@@ -44,12 +88,9 @@ func (g LoadGen) VehicleTrace(vehicle int) []byte {
 	}
 	rng := sim.NewRNG(seed ^ hashVehicle(vehicle))
 
-	var buf bytes.Buffer
 	w := func(e trace.Event) {
 		e.Vehicle = vehicle
-		b, _ := json.Marshal(&e)
-		buf.Write(b)
-		buf.WriteByte('\n')
+		emit(e)
 	}
 
 	detail := ""
@@ -99,5 +140,4 @@ func (g LoadGen) VehicleTrace(vehicle int) []byte {
 				Action:  action, Conf: 0.5 + 0.5*rng.Float64()})
 		}
 	}
-	return buf.Bytes()
 }

@@ -35,7 +35,11 @@ const maxCorruptErrors = 16
 // NewReader wraps r. The decode buffer is bounded by DefaultMaxLineBytes;
 // use SetMaxLineBytes to tighten or widen the bound before reading.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{br: bufio.NewReaderSize(r, 64<<10), max: DefaultMaxLineBytes}
+	return newReader(bufio.NewReaderSize(r, 64<<10))
+}
+
+func newReader(br *bufio.Reader) *Reader {
+	return &Reader{br: br, max: DefaultMaxLineBytes}
 }
 
 // SetMaxLineBytes bounds the size of a single line; longer lines are
@@ -47,8 +51,16 @@ func (r *Reader) SetMaxLineBytes(n int) {
 	r.max = n
 }
 
+// SetMaxRecordBytes is SetMaxLineBytes under the EventReader interface: a
+// record of the NDJSON encoding is one line.
+func (r *Reader) SetMaxRecordBytes(n int) { r.SetMaxLineBytes(n) }
+
 // Lines returns the number of non-empty lines consumed so far.
 func (r *Reader) Lines() int { return r.lines }
+
+// Records returns the number of records (non-empty lines) consumed so
+// far, under the EventReader interface.
+func (r *Reader) Records() int { return r.lines }
 
 // Corrupt returns the number of lines skipped as undecodable or over-long.
 func (r *Reader) Corrupt() int { return r.corrupt }

@@ -252,12 +252,13 @@ func (c *Collector) Ingest(e trace.Event) {
 	}
 }
 
-// IngestStream decodes an NDJSON stream and ingests every event. Corrupt
-// lines are skipped and counted, per trace.Reader semantics. maxLineBytes
-// bounds the per-connection decode buffer (< 1 uses the default).
+// IngestStream decodes a trace stream — NDJSON or binary, sniffed from
+// the first bytes — and ingests every event. Corrupt records are skipped
+// and counted, per the trace readers' semantics. maxLineBytes bounds one
+// record's decode buffer (< 1 uses the default).
 func (c *Collector) IngestStream(r io.Reader, maxLineBytes int) (events, corrupt int, err error) {
-	rd := trace.NewReader(r)
-	rd.SetMaxLineBytes(maxLineBytes)
+	rd, _ := trace.OpenReader(r)
+	rd.SetMaxRecordBytes(maxLineBytes)
 	err = rd.ReadAll(func(e trace.Event) {
 		c.Ingest(e)
 		events++

@@ -5,10 +5,12 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"decos/internal/telemetry"
+	"decos/internal/trace"
 )
 
 // ServerOptions tunes the ingestion HTTP front end. Zero values select
@@ -44,7 +46,8 @@ type ServerOptions struct {
 
 // Server exposes a Collector over HTTP (stdlib only):
 //
-//	POST /v1/ingest         NDJSON trace events; 429 + Retry-After when the queue is full
+//	POST /v1/ingest         trace events, NDJSON or binary by Content-Type (415 otherwise);
+//	                        429 + Retry-After when the queue is full
 //	GET  /v1/fleet/summary  fleet aggregate (?threshold= optional)
 //	GET  /v1/fleet/snapshot canonical mergeable shard state (cluster coordination)
 //	GET  /v1/fru/{id}       per-FRU drill-down (id URL-escaped)
@@ -68,6 +71,8 @@ type Server struct {
 	ingestRejected   *telemetry.Counter
 	ingestEvents     *telemetry.Counter
 	ingestCorrupt    *telemetry.Counter
+	ingestBinary     *telemetry.Counter
+	ingestUnsupp     *telemetry.Counter
 	ingestNS         *telemetry.Histogram
 	snapshotRequests *telemetry.Counter
 	snapshotNS       *telemetry.Histogram
@@ -105,6 +110,8 @@ func NewServer(c *Collector, opts ServerOptions) *Server {
 		ingestRejected:   opts.Telemetry.Counter("ingest.rejected"),
 		ingestEvents:     opts.Telemetry.Counter("ingest.events"),
 		ingestCorrupt:    opts.Telemetry.Counter("ingest.corrupt_lines"),
+		ingestBinary:     opts.Telemetry.Counter("ingest.binary_requests"),
+		ingestUnsupp:     opts.Telemetry.Counter("ingest.unsupported_media"),
 		ingestNS:         opts.Telemetry.Histogram("ingest.request_ns"),
 		snapshotRequests: opts.Telemetry.Counter("snapshot.requests"),
 		snapshotNS:       opts.Telemetry.Histogram("snapshot.request_ns"),
@@ -147,8 +154,37 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// ingestMediaType classifies a request Content-Type for /v1/ingest:
+// the binary trace media type, the NDJSON family (the historical default
+// — an absent Content-Type still means NDJSON for interop with every
+// pre-binary producer), or unsupported.
+func ingestMediaType(ct string) (binary, ok bool) {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(strings.ToLower(ct)) {
+	case trace.ContentTypeBinary:
+		return true, true
+	case "", trace.ContentTypeNDJSON, "application/json", "text/plain":
+		return false, true
+	}
+	return false, false
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestRequests.Inc()
+	binary, ok := ingestMediaType(r.Header.Get("Content-Type"))
+	if !ok {
+		s.ingestUnsupp.Inc()
+		w.Header().Set("Accept-Post", trace.ContentTypeBinary+", "+trace.ContentTypeNDJSON)
+		writeJSON(w, http.StatusUnsupportedMediaType, errorBody{
+			Error: "unsupported Content-Type; send " + trace.ContentTypeBinary + " or " + trace.ContentTypeNDJSON,
+		})
+		return
+	}
+	if binary {
+		s.ingestBinary.Inc()
+	}
 	select {
 	case s.sem <- struct{}{}:
 	default:

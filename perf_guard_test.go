@@ -1,6 +1,8 @@
 package decos
 
 import (
+	"bytes"
+	"io"
 	"testing"
 
 	"decos/internal/diagnosis"
@@ -8,6 +10,7 @@ import (
 	"decos/internal/scenario"
 	"decos/internal/sim"
 	"decos/internal/telemetry"
+	"decos/internal/trace"
 	"decos/internal/tt"
 )
 
@@ -110,5 +113,44 @@ func TestAllocGuardTelemetryRound(t *testing.T) {
 	}
 	if enabled > base+2 {
 		t.Errorf("enabled-registry round allocates %.3f objects, want <= baseline + 2 (%.3f)", enabled, base+2)
+	}
+}
+
+// TestAllocGuardTraceCodec pins the binary trace codec's zero-allocation
+// contract on both sides of the wire: encoding events into a sink and
+// decoding them back must allocate nothing per event in steady state
+// (pooled encode scratch, reused payload buffer, interned strings,
+// pointer-field scratch). This is what makes the ≥5x ingest speedup in
+// BENCH_pr7.json structural rather than incidental.
+func TestAllocGuardTraceCodec(t *testing.T) {
+	events := syntheticFleetEvents(64, 256)
+
+	sink := trace.NewBinarySink(io.Discard)
+	encodeRun := func() {
+		for i := range events {
+			if err := sink.Record(&events[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	encodeRun() // warm the scratch pool before measuring
+	if allocs := testing.AllocsPerRun(5, encodeRun); allocs != 0 {
+		t.Errorf("binary encode allocates %.0f times per %d events, want 0", allocs, len(events))
+	}
+
+	blob := encodeTraceBlob(t, events, trace.FormatBinary)
+	rd := trace.NewBinaryReader(bytes.NewReader(blob))
+	const perRun = 1024
+	decodeRun := func() {
+		for i := 0; i < perRun; i++ {
+			if _, err := rd.Next(); err != nil {
+				t.Fatalf("event %d: %v", rd.Records(), err)
+			}
+		}
+	}
+	decodeRun()                    // warm the intern table and payload scratch
+	runs := len(events)/perRun - 2 // stay clear of EOF
+	if allocs := testing.AllocsPerRun(runs, decodeRun); allocs != 0 {
+		t.Errorf("binary decode allocates %.0f times per %d events, want 0", allocs, perRun)
 	}
 }

@@ -37,4 +37,11 @@ echo "== go test -race (cluster integration) =="
 # stays race-checked here.
 go test -race -short ./internal/cluster/...
 
+echo "== fuzz smoke (binary trace decoder) =="
+# Ten seconds of coverage-guided input on the binary codec: the decoder
+# must never panic and must report corruption with byte offsets. The
+# committed seed corpus (golden stream, truncations, bit flips) runs as a
+# plain test above; this leg explores beyond it.
+go test -run='^$' -fuzz='^FuzzBinaryReader$' -fuzztime=10s ./internal/trace/
+
 echo "OK"

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Ingest-encoding benchmark (`make ingest-bench`): runs the single-peer
+# trace decode and collector ingest benchmarks for both wire encodings,
+# then uses cmd/decos-benchcmp to report the binary runs against the
+# NDJSON runs as the baseline. With -gate RATIO the comparison becomes
+# the encoding gate: -gate 0.2 demands the binary codec at most a fifth
+# of the NDJSON ns/op, i.e. at least 5x the events/sec.
+#
+# Usage:
+#   scripts/ingest-bench.sh [-o REPORT.json] [-gate RATIO] [-benchtime 1s]
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=""
+GATE=""
+BENCHTIME="1s"
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -o) OUT=$2; shift ;;
+    -gate) GATE=$2; shift ;;
+    -benchtime) BENCHTIME=$2; shift ;;
+    *)
+        echo "usage: scripts/ingest-bench.sh [-o report.json] [-gate ratio] [-benchtime 1s]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+RAW=$(mktemp "${TMPDIR:-/tmp}/decos-ingest-bench.XXXXXX")
+ND=$(mktemp "${TMPDIR:-/tmp}/decos-ingest-nd.XXXXXX")
+BIN=$(mktemp "${TMPDIR:-/tmp}/decos-ingest-bin.XXXXXX")
+trap 'rm -f "$RAW" "$ND" "$BIN"' EXIT
+
+go test -run='^$' -bench '^(BenchmarkTraceDecode|BenchmarkIngest)$' -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
+
+# decos-benchcmp pairs results by name; strip the format subbench suffix
+# so each benchmark's NDJSON run becomes the baseline its binary run is
+# compared against.
+grep '/format=ndjson' "$RAW" | sed 's|/format=ndjson||' >"$ND"
+grep '/format=binary' "$RAW" | sed 's|/format=binary||' >"$BIN"
+if [ ! -s "$ND" ] || [ ! -s "$BIN" ]; then
+    echo "ingest-bench: benchmark produced no comparable output" >&2
+    exit 1
+fi
+
+go run ./cmd/decos-benchcmp -label-old "ndjson" -label-new "binary" \
+    ${OUT:+-o "$OUT"} ${GATE:+-max-ns-ratio "$GATE"} "$ND" "$BIN"
