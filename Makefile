@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench benchfull benchall build fmt vet metrics-demo cluster-demo cluster-bench ingest-bench
+.PHONY: check test race bench benchfull benchall build fmt vet metrics-demo cluster-demo cluster-bench ingest-bench whatif-demo
 
 # Commit gate: gofmt (failing), vet, build, full tests, and a targeted
 # -race leg over the concurrent packages (scenario, warranty, engine).
@@ -27,6 +27,7 @@ bench:
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr5.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr6.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr7.json
+	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr8.json
 
 # Full curated benchmark run (steady-state set at default benchtime plus
 # one-shot E8/E13); pass BASELINE=old.txt (bench text or a committed
@@ -68,3 +69,9 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Counterfactual replay demo: record a faulted Fig. 10 run with engine
+# checkpoints, then localize the fault with decos-whatif (remove and
+# wrong-fru hypotheses against the recorded trace).
+whatif-demo:
+	./scripts/whatif-demo.sh

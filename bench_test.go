@@ -17,6 +17,7 @@ import (
 	"decos/internal/cluster"
 	"decos/internal/core"
 	"decos/internal/diagnosis"
+	"decos/internal/engine"
 	"decos/internal/experiments"
 	"decos/internal/faults"
 	"decos/internal/scenario"
@@ -446,4 +447,56 @@ func BenchmarkIngest(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Checkpoint machinery (PR 8) ----------------------------------------
+
+// checkpointGrid builds the 100-component (one hardware FRU each) grid
+// cluster the checkpoint benchmarks measure, advanced far enough that
+// histories, trust records and port statistics are populated.
+func checkpointGrid(extra ...engine.Option) *scenario.System {
+	sys := scenario.GridWith(100, benchSeed, diagnosis.Options{}, extra...)
+	if len(extra) == 0 {
+		sys.Run(500)
+	}
+	return sys
+}
+
+// BenchmarkCheckpoint measures encoding the complete state of a 100-FRU
+// cluster mid-run; the "ckpt-bytes" metric is the encoded size.
+func BenchmarkCheckpoint(b *testing.B) {
+	sys := checkpointGrid()
+	var buf bytes.Buffer
+	if err := sys.Engine.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := sys.Engine.Checkpoint(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()), "ckpt-bytes")
+}
+
+// BenchmarkRestore measures rebuilding the same 100-FRU cluster from its
+// checkpoint: full reconstruction (build pipeline at t=0) plus state
+// overwrite and re-arm.
+func BenchmarkRestore(b *testing.B) {
+	var buf bytes.Buffer
+	if err := checkpointGrid().Engine.Checkpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := checkpointGrid(engine.WithRestore(bytes.NewReader(data)))
+		if v := sys.Engine.StateVersion(); v != 500 {
+			b.Fatalf("restored StateVersion = %d, want 500", v)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "ckpt-bytes")
 }

@@ -23,10 +23,17 @@
 // N-vehicle traced campaign on all CPUs and ingesting the streams — a
 // built-in load generator and a way to explore the API without a fleet.
 //
+// With -state-dir DIR the daemon is a warm standby: on graceful shutdown
+// (SIGTERM/SIGINT) it persists the collector to DIR/warranty-state.json,
+// and on boot it reloads that file if present — a restarted shard serves
+// its accumulated fleet view immediately instead of waiting for vehicles
+// to re-uplink.
+//
 // Usage:
 //
 //	decos-fleetd -addr :8080
 //	decos-fleetd -addr :8080 -demo-vehicles 150 -demo-rounds 3000
+//	decos-fleetd -addr :8080 -state-dir /var/lib/decos-fleetd
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -58,6 +66,7 @@ func main() {
 		threshold    = flag.Float64("threshold", warranty.DefaultThreshold,
 			"systematic-fault vehicle share for summaries")
 		peerName     = flag.String("peer-name", "", "shard label stamped on /v1/fleet/snapshot exports")
+		stateDir     = flag.String("state-dir", "", "persist the collector across restarts (warm standby; empty = stateless)")
 		retryAfter   = flag.Int("retry-after", 0, "Retry-After seconds sent with 429 (0 = default 1, negative = 0)")
 		demoVehicles = flag.Int("demo-vehicles", 0, "pre-populate with an N-vehicle traced campaign")
 		demoRounds   = flag.Int64("demo-rounds", 3000, "rounds per demo vehicle")
@@ -72,6 +81,28 @@ func main() {
 
 	col := warranty.NewCollector(*shards)
 	metrics := telemetry.New()
+
+	// Warm standby: reload the state a previous incarnation persisted on
+	// shutdown, so a restarted shard serves its fleet view immediately
+	// instead of waiting for vehicles to re-uplink.
+	statePath := ""
+	if *stateDir != "" {
+		statePath = filepath.Join(*stateDir, warranty.StateFileName)
+		switch snap, err := warranty.LoadState(statePath); {
+		case err == nil:
+			if err := col.LoadSnapshot(snap); err != nil {
+				fmt.Fprintf(os.Stderr, "decos-fleetd: restoring %s: %v\n", statePath, err)
+				os.Exit(1)
+			}
+			log.Printf("restored %d vehicles, %d events from %s", col.Vehicles(), col.Events(), statePath)
+		case os.IsNotExist(err):
+			log.Printf("cold start: no state at %s", statePath)
+		default:
+			fmt.Fprintf(os.Stderr, "decos-fleetd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *demoVehicles > 0 {
 		start := time.Now()
 		c := scenario.Campaign{
@@ -112,6 +143,15 @@ func main() {
 	if err := engine.Serve(ctx, srv, 15*time.Second); err != nil {
 		fmt.Fprintf(os.Stderr, "decos-fleetd: %v\n", err)
 		os.Exit(1)
+	}
+	// Graceful shutdown (SIGTERM/SIGINT, server drained): persist the
+	// collector so the next incarnation boots warm.
+	if statePath != "" {
+		if err := warranty.SaveState(statePath, col.Snapshot(*peerName)); err != nil {
+			fmt.Fprintf(os.Stderr, "decos-fleetd: persisting state: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("state persisted to %s (%d vehicles, %d events)", statePath, col.Vehicles(), col.Events())
 	}
 	// One-line final accounting for operators: everything the process
 	// ingested, refused and skipped over its lifetime, from the same

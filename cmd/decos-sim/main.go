@@ -5,10 +5,18 @@
 // Usage:
 //
 //	decos-sim [-seed N] [-rounds N] [-fault kind] [-at ms] [-v] [-metrics N]
+//	          [-checkpoint-every N] [-checkpoint-dir DIR]
 //
 // Fault kinds: emi seu connector-tx connector-rx wearout intermittent
 // permanent quartz config bohrbug heisenbug job-crash sensor-stuck
 // sensor-drift (empty = healthy run).
+//
+// With -checkpoint-every N the engine state is serialized every N rounds
+// to DIR/ckpt_<rounds>.bin (the number is the count of completed rounds,
+// i.e. the StateVersion of the restored engine). decos-whatif restores
+// these files for counterfactual replay. The injection is routed through
+// the engine's fault manifest either way, so checkpoints always
+// reconstruct it.
 //
 // With -metrics N the run is instrumented with the telemetry registry and
 // a one-line JSON snapshot is dumped to stderr every N rounds (and once at
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"decos/internal/diagnosis"
@@ -43,17 +52,59 @@ func main() {
 	tracePath := flag.String("trace", "", "write an event trace to this file")
 	traceFormat := flag.String("trace-format", "ndjson", "trace encoding: ndjson or binary")
 	metricsEvery := flag.Int64("metrics", 0, "dump a telemetry snapshot to stderr every N rounds (0 = off)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "write an engine checkpoint every N rounds (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", ".", "directory for ckpt_<rounds>.bin files")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var kind scenario.FaultKind = -1
+	if *faultName != "" {
+		for _, k := range scenario.AllKinds() {
+			if k.String() == *faultName {
+				kind = k
+			}
+		}
+		if kind < 0 {
+			fmt.Fprintf(os.Stderr, "unknown fault kind %q; known kinds:\n", *faultName)
+			for _, k := range scenario.AllKinds() {
+				fmt.Fprintf(os.Stderr, "  %s\n", k)
+			}
+			os.Exit(2)
+		}
+	}
+
 	var metrics *telemetry.Registry
 	if *metricsEvery > 0 {
 		metrics = telemetry.New()
 	}
+	eopts := []engine.Option{engine.WithTelemetry(metrics)}
+	if *ckptEvery > 0 {
+		dir := *ckptDir
+		eopts = append(eopts, engine.WithCheckpointSink(func(round int64, data []byte) error {
+			// round is the 0-based index of the round just completed;
+			// name the file by completed-round count = restored
+			// StateVersion, so decos-whatif can pick by round number.
+			return os.WriteFile(filepath.Join(dir, fmt.Sprintf("ckpt_%d.bin", round+1)), data, 0o644)
+		}, *ckptEvery))
+	}
+
+	// The injection rides the engine's fault manifest (not a post-build
+	// call) so a checkpoint restore reconstructs it.
+	var plan []scenario.InjectPlan
+	if kind >= 0 {
+		plan = append(plan, scenario.InjectPlan{
+			Kind:    kind,
+			At:      sim.Time(*atMS) * sim.Time(sim.Millisecond),
+			Horizon: sim.Time(*rounds) * sim.Time(sim.Millisecond),
+		})
+	}
 	var rec *trace.Recorder
-	sys := scenario.Fig10With(*seed, diagnosis.Options{}, engine.WithTelemetry(metrics))
+	sys := scenario.Fig10Faulted(*seed, diagnosis.Options{}, plan, eopts...)
+	for _, act := range sys.Injector.Ledger() {
+		fmt.Printf("injected: %s\n", act)
+	}
 	if *tracePath != "" {
 		format, err := trace.ParseFormat(*traceFormat)
 		if err != nil {
@@ -73,28 +124,13 @@ func main() {
 			sink, trace.Options{TrustEveryEpochs: 5})
 	}
 
-	var kind scenario.FaultKind = -1
-	if *faultName != "" {
-		for _, k := range scenario.AllKinds() {
-			if k.String() == *faultName {
-				kind = k
-			}
-		}
-		if kind < 0 {
-			fmt.Fprintf(os.Stderr, "unknown fault kind %q; known kinds:\n", *faultName)
-			for _, k := range scenario.AllKinds() {
-				fmt.Fprintf(os.Stderr, "  %s\n", k)
-			}
-			os.Exit(2)
-		}
-		act := sys.Inject(kind, sim.Time(*atMS)*sim.Time(sim.Millisecond),
-			sim.Time(*rounds)*sim.Time(sim.Millisecond))
-		fmt.Printf("injected: %s\n", act)
-	}
-
 	if err := runWithMetrics(ctx, sys, *rounds, *metricsEvery, metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "interrupted after %d of %d rounds\n", sys.Cluster.Round(), *rounds)
 		os.Exit(130)
+	}
+	if err := sys.Engine.CkptErr; err != nil {
+		fmt.Fprintf(os.Stderr, "checkpointing failed: %v\n", err)
+		os.Exit(1)
 	}
 	now := sys.Cluster.Sched.Now()
 	fmt.Printf("simulated %d rounds (%v), %d events, %d symptoms disseminated\n\n",

@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"decos/internal/ckpt"
+	"decos/internal/sim"
+	"decos/internal/tt"
+	"decos/internal/vnet"
+)
+
+// Checkpointing of the OBD baseline. The watch list is structural; what
+// crosses the wire is the failure-span tracking, the per-port receive
+// cursors and the stored trouble codes.
+
+// Snapshot serializes the diagnoser's mutable state in key order.
+func (o *OBD) Snapshot(e *ckpt.Encoder) {
+	nodes := make([]int, 0, len(o.commFailing))
+	for n := range o.commFailing {
+		nodes = append(nodes, int(n))
+	}
+	sort.Ints(nodes)
+	e.Int(len(nodes))
+	for _, n := range nodes {
+		id := tt.NodeID(n)
+		e.Int(n)
+		e.Bool(o.commFailing[id])
+		e.Varint(int64(o.commFailSince[id]))
+	}
+	chans := make([]int, 0, len(o.valueFailing))
+	for ch := range o.valueFailing {
+		chans = append(chans, int(ch))
+	}
+	sort.Ints(chans)
+	e.Int(len(chans))
+	for _, ch := range chans {
+		id := vnet.ChannelID(ch)
+		e.Int(ch)
+		e.Bool(o.valueFailing[id])
+		e.Varint(int64(o.valueFailSince[id]))
+	}
+	e.Int(len(o.watched))
+	for i := range o.watched {
+		e.Int(o.watched[i].prev)
+	}
+	comps := make([]int, 0, len(o.dtcs))
+	for n := range o.dtcs {
+		comps = append(comps, int(n))
+	}
+	sort.Ints(comps)
+	e.Int(len(comps))
+	for _, n := range comps {
+		m := o.dtcs[tt.NodeID(n)]
+		codes := make([]string, 0, len(m))
+		for c := range m {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		e.Int(n)
+		e.Int(len(codes))
+		for _, c := range codes {
+			d := m[c]
+			e.String(c)
+			e.Varint(int64(d.First))
+			e.Int(d.Count)
+		}
+	}
+}
+
+// Restore replaces the diagnoser's state.
+func (o *OBD) Restore(d *ckpt.Decoder) error {
+	clear(o.commFailing)
+	clear(o.commFailSince)
+	nn := d.Len(1 << 16)
+	for i := 0; i < nn && d.Err() == nil; i++ {
+		id := tt.NodeID(d.Int())
+		o.commFailing[id] = d.Bool()
+		o.commFailSince[id] = sim.Time(d.Varint())
+	}
+	clear(o.valueFailing)
+	clear(o.valueFailSince)
+	nc := d.Len(1 << 16)
+	for i := 0; i < nc && d.Err() == nil; i++ {
+		id := vnet.ChannelID(d.Int())
+		o.valueFailing[id] = d.Bool()
+		o.valueFailSince[id] = sim.Time(d.Varint())
+	}
+	nw := d.Len(1 << 20)
+	if d.Err() == nil && nw != len(o.watched) {
+		return fmt.Errorf("baseline: checkpoint has %d watched ports, OBD has %d", nw, len(o.watched))
+	}
+	for i := 0; i < nw && d.Err() == nil; i++ {
+		o.watched[i].prev = d.Int()
+	}
+	clear(o.dtcs)
+	nd := d.Len(1 << 16)
+	for i := 0; i < nd && d.Err() == nil; i++ {
+		comp := tt.NodeID(d.Int())
+		ncodes := d.Len(1 << 8)
+		m := make(map[string]*DTC, ncodes)
+		for k := 0; k < ncodes && d.Err() == nil; k++ {
+			code := d.String()
+			m[code] = &DTC{
+				Component: comp,
+				Code:      code,
+				First:     sim.Time(d.Varint()),
+				Count:     d.Int(),
+			}
+		}
+		if d.Err() == nil {
+			o.dtcs[comp] = m
+		}
+	}
+	return d.Err()
+}

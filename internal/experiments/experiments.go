@@ -1,5 +1,5 @@
 // Package experiments regenerates every figure of the paper as an
-// executable measurement (experiments E1–E13 of DESIGN.md) plus the
+// executable measurement (experiments E1–E14 of DESIGN.md) plus the
 // ablations A1–A5. Each experiment returns a Result with a human-readable
 // table and structured metrics; cmd/decos-bench prints them and the
 // repo-root benchmarks time them.
@@ -61,6 +61,7 @@ var registry = []struct {
 	{"E11", E11RepairLoop},
 	{"E12", E12Robustness},
 	{"E13", E13FleetWarranty},
+	{"E14", E14Whatif},
 	{"A1", A1WindowSweep},
 	{"A2", A2AlphaSweep},
 	{"A3", A3Encapsulation},

@@ -241,3 +241,25 @@ func TestByIDAndAll(t *testing.T) {
 		t.Error("Result.String malformed")
 	}
 }
+
+func TestE14DivergenceLocalizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("counterfactual sweep in -short mode")
+	}
+	r := E14Whatif(seed)
+	if r.Metrics["localization"] < 0.9 {
+		t.Errorf("divergence localization %.2f among diverged runs\n%s",
+			r.Metrics["localization"], r.Table)
+	}
+	// SEUs may mask entirely (the counterfactual NFF case), but the
+	// persistent kinds must be observable.
+	if r.Metrics["diverged"] < 0.7 {
+		t.Errorf("only %.0f%% of faulted runs diverged at all\n%s",
+			100*r.Metrics["diverged"], r.Table)
+	}
+	for _, k := range []string{"connector-tx", "connector-rx", "permanent", "quartz", "power-dip"} {
+		if r.Metrics["div_"+k] < 1 {
+			t.Errorf("%s: persistent fault produced no divergence in some seeds\n%s", k, r.Table)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"decos/internal/component"
 	"decos/internal/core"
 	"decos/internal/sim"
+	"decos/internal/tt"
 	"decos/internal/vnet"
 )
 
@@ -35,6 +36,83 @@ type Activation struct {
 
 	deactivated bool
 	undo        []func()
+
+	// Phase tracking. Every fault primitive expresses its temporal
+	// behaviour as named roles: timer roles (what to do when a scheduled
+	// instant arrives) and hook roles (the frame perturbation closures
+	// installed on the bus). The pending timers and installed hooks are
+	// the activation's phase — exactly what a checkpoint must carry and a
+	// restore must re-arm, while the role handlers themselves are
+	// reconstructed by re-running the manifest.
+	onTimer map[string]func(arg int64)
+	txRoles map[string]tt.TxFault
+	rxRoles map[string]tt.RxFault
+	timers  []*timerRec
+	hooks   []hookRec
+	flags   map[string]bool
+}
+
+// timerRec is one pending (not yet fired) scheduled instant of an
+// activation. armSeq is a global arm-order counter: re-arming in armSeq
+// order reproduces the scheduler's FIFO tie-break among same-time events.
+type timerRec struct {
+	armSeq uint64
+	at     sim.Time
+	role   string
+	arg    int64
+}
+
+// hookRec is one installed bus fault hook of an activation. The id is the
+// bus handle — hook ids order the filter composition, so restores
+// reinstall under the original id.
+type hookRec struct {
+	id   int
+	role string
+	rx   bool
+}
+
+// handle registers the activation's handler for a timer role.
+func (a *Activation) handle(role string, fn func(arg int64)) {
+	if a.onTimer == nil {
+		a.onTimer = make(map[string]func(int64))
+	}
+	a.onTimer[role] = fn
+}
+
+// txRole registers the activation's sender-side hook closure for a role.
+func (a *Activation) txRole(role string, fn tt.TxFault) {
+	if a.txRoles == nil {
+		a.txRoles = make(map[string]tt.TxFault)
+	}
+	a.txRoles[role] = fn
+}
+
+// rxRole registers the activation's receiver-side hook closure for a role.
+func (a *Activation) rxRole(role string, fn tt.RxFault) {
+	if a.rxRoles == nil {
+		a.rxRoles = make(map[string]tt.RxFault)
+	}
+	a.rxRoles[role] = fn
+}
+
+// flag reads a named phase flag (e.g. the SEU's one-shot latch).
+func (a *Activation) flag(name string) bool { return a.flags[name] }
+
+// setFlag writes a named phase flag.
+func (a *Activation) setFlag(name string, v bool) {
+	if a.flags == nil {
+		a.flags = make(map[string]bool)
+	}
+	a.flags[name] = v
+}
+
+func (a *Activation) dropTimer(rec *timerRec) {
+	for i, r := range a.timers {
+		if r == rec {
+			a.timers = append(a.timers[:i], a.timers[i+1:]...)
+			return
+		}
+	}
 }
 
 // Active reports whether the fault is still present in the system (i.e.
@@ -91,12 +169,89 @@ type Injector struct {
 	rng    *sim.RNG
 	ledger []*Activation
 	nextID int
+
+	// armSeq orders every timer arm across all activations.
+	armSeq uint64
+	// restoring suppresses manifest-time timer arming: during a restore
+	// reconstruction the manifest re-registers every role handler, but the
+	// checkpoint's pending-timer list is the authoritative phase.
+	restoring bool
 }
 
 // NewInjector creates an injector for the cluster, drawing randomness from
 // the cluster's dedicated "faults" stream.
 func NewInjector(cl *component.Cluster) *Injector {
 	return &Injector{cl: cl, rng: cl.Streams.Stream("faults")}
+}
+
+// SetReconstructing switches the injector into (or out of) restore-
+// reconstruction mode. The engine enables it before re-running the fault
+// manifest of a checkpointed run and disables it again after Restore has
+// re-armed the checkpointed phase.
+func (in *Injector) SetReconstructing(v bool) { in.restoring = v }
+
+// timer schedules a tracked instant for the activation: the role's
+// handler runs at the given time with arg, and until then the timer is
+// part of the activation's checkpointable phase. During restore
+// reconstruction the call is a no-op.
+func (in *Injector) timer(a *Activation, role string, at sim.Time, arg int64) {
+	if in.restoring {
+		return
+	}
+	in.armSeq++
+	rec := &timerRec{armSeq: in.armSeq, at: at, role: role, arg: arg}
+	a.timers = append(a.timers, rec)
+	in.arm(a, rec)
+}
+
+func (in *Injector) arm(a *Activation, rec *timerRec) {
+	in.cl.Sched.At(rec.at, "fault."+rec.role, func() {
+		a.dropTimer(rec)
+		if fn := a.onTimer[rec.role]; fn != nil {
+			fn(rec.arg)
+		}
+	})
+}
+
+// installTx installs the activation's tx hook for a role on the bus and
+// tracks it; returns the bus handle.
+func (in *Injector) installTx(a *Activation, role string) int {
+	id := in.cl.Bus.AddTxFault(a.txRoles[role])
+	a.hooks = append(a.hooks, hookRec{id: id, role: role})
+	return id
+}
+
+// installRx installs the activation's rx hook for a role on the bus and
+// tracks it.
+func (in *Injector) installRx(a *Activation, role string) int {
+	id := in.cl.Bus.AddRxFault(a.rxRoles[role])
+	a.hooks = append(a.hooks, hookRec{id: id, role: role, rx: true})
+	return id
+}
+
+// removeHookID uninstalls one tracked hook by bus handle.
+func (in *Injector) removeHookID(a *Activation, id int) {
+	in.cl.Bus.RemoveFault(id)
+	for i, h := range a.hooks {
+		if h.id == id {
+			a.hooks = append(a.hooks[:i], a.hooks[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeRole uninstalls every tracked hook of the activation with the
+// given role.
+func (in *Injector) removeRole(a *Activation, role string) {
+	kept := a.hooks[:0]
+	for _, h := range a.hooks {
+		if h.role == role {
+			in.cl.Bus.RemoveFault(h.id)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	a.hooks = kept
 }
 
 // Ledger returns all recorded activations in injection order.

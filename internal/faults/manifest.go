@@ -42,23 +42,22 @@ func (in *Injector) EMIBurst(at sim.Time, x, y, radius float64, dur sim.Duration
 	for _, f := range affected {
 		inside[tt.NodeID(f.Component)] = true
 	}
-	bus := in.cl.Bus
-	var hookID int
-	in.cl.Sched.At(at, "fault.emi.on", func() {
-		hookID = bus.AddTxFault(func(f *tt.Frame) {
-			if !inside[f.Sender] {
-				return
-			}
-			now := in.cl.Sched.Now()
-			if f.Status == tt.FrameOK {
-				f.Status = tt.FrameCorrupted
-				appendFailure(&a.Chain, now, core.HardwareFRU(int(f.Sender)), "frame corrupted by EMI")
-			}
-			f.CorruptBits += bits
-			a.logEpisode(now)
-		})
+	a.txRole("emi", func(f *tt.Frame) {
+		if !inside[f.Sender] {
+			return
+		}
+		now := in.cl.Sched.Now()
+		if f.Status == tt.FrameOK {
+			f.Status = tt.FrameCorrupted
+			appendFailure(&a.Chain, now, core.HardwareFRU(int(f.Sender)), "frame corrupted by EMI")
+		}
+		f.CorruptBits += bits
+		a.logEpisode(now)
 	})
-	in.cl.Sched.At(at.Add(dur), "fault.emi.off", func() { bus.RemoveFault(hookID) })
+	a.handle("emi.on", func(int64) { in.installTx(a, "emi") })
+	a.handle("emi.off", func(int64) { in.removeRole(a, "emi") })
+	in.timer(a, "emi.on", at, 0)
+	in.timer(a, "emi.off", at.Add(dur), 0)
 	return a
 }
 
@@ -78,23 +77,21 @@ func (in *Injector) SEU(at sim.Time, comp tt.NodeID) *Activation {
 	})
 	a.Chain.Append(core.Stage{Kind: core.StageFault, At: at, FRU: NoCulprit,
 		Detail: "single event upset (cosmic radiation)"})
-	bus := in.cl.Bus
-	var hookID int
-	done := false
-	in.cl.Sched.At(at, "fault.seu.on", func() {
-		hookID = bus.AddTxFault(func(f *tt.Frame) {
-			if done || f.Sender != comp || f.Status != tt.FrameOK {
-				return
-			}
-			done = true
-			f.Status = tt.FrameCorrupted
-			f.CorruptBits = 1
-			now := in.cl.Sched.Now()
-			appendFailure(&a.Chain, now, fru, "single-bit frame corruption")
-			a.logEpisode(now)
-			in.cl.Sched.After(0, "fault.seu.off", func() { bus.RemoveFault(hookID) })
-		})
+	a.txRole("seu", func(f *tt.Frame) {
+		if a.flag("done") || f.Sender != comp || f.Status != tt.FrameOK {
+			return
+		}
+		a.setFlag("done", true)
+		f.Status = tt.FrameCorrupted
+		f.CorruptBits = 1
+		now := in.cl.Sched.Now()
+		appendFailure(&a.Chain, now, fru, "single-bit frame corruption")
+		a.logEpisode(now)
+		in.timer(a, "seu.off", now, 0)
 	})
+	a.handle("seu.on", func(int64) { in.installTx(a, "seu") })
+	a.handle("seu.off", func(int64) { in.removeRole(a, "seu") })
+	in.timer(a, "seu.on", at, 0)
 	return a
 }
 
@@ -121,7 +118,7 @@ func (in *Injector) PowerDip(comp tt.NodeID, at sim.Time, dur sim.Duration) *Act
 	})
 	a.Chain.Append(core.Stage{Kind: core.StageFault, At: at, FRU: NoCulprit,
 		Detail: "external supply disturbance"})
-	in.cl.Sched.At(at, "fault.powerdip.on", func() {
+	a.handle("powerdip.on", func(int64) {
 		if !a.Active() {
 			return
 		}
@@ -129,9 +126,9 @@ func (in *Injector) PowerDip(comp tt.NodeID, at sim.Time, dur sim.Duration) *Act
 		appendFailure(&a.Chain, at, fru, "transient outage (silence)")
 		a.logEpisode(at)
 	})
-	in.cl.Sched.At(a.End, "fault.powerdip.off", func() {
-		in.cl.Bus.SetAlive(comp, true)
-	})
+	a.handle("powerdip.off", func(int64) { in.cl.Bus.SetAlive(comp, true) })
+	in.timer(a, "powerdip.on", at, 0)
+	in.timer(a, "powerdip.off", a.End, 0)
 	a.OnDeactivate(func() { in.cl.Bus.SetAlive(comp, true) })
 	return a
 }
@@ -158,25 +155,24 @@ func (in *Injector) ConnectorTx(comp tt.NodeID, start, end sim.Time, dropProb fl
 	})
 	a.Chain.Append(core.Stage{Kind: core.StageFault, At: start, FRU: fru,
 		Detail: "connector fretting/corrosion (borderline)"})
-	bus := in.cl.Bus
-	var hookID int
-	in.cl.Sched.At(start, "fault.connector.on", func() {
-		hookID = bus.AddTxFault(func(f *tt.Frame) {
-			if !a.Active() || f.Sender != comp || f.Status != tt.FrameOK {
-				return
-			}
-			if in.rng.Bool(dropProb) {
-				f.Status = tt.FrameOmitted
-				f.Payload = nil
-				now := in.cl.Sched.Now()
-				appendFailure(&a.Chain, now, fru, "frame omission (connector)")
-				a.logEpisode(now)
-			}
-		})
+	a.txRole("connector", func(f *tt.Frame) {
+		if !a.Active() || f.Sender != comp || f.Status != tt.FrameOK {
+			return
+		}
+		if in.rng.Bool(dropProb) {
+			f.Status = tt.FrameOmitted
+			f.Payload = nil
+			now := in.cl.Sched.Now()
+			appendFailure(&a.Chain, now, fru, "frame omission (connector)")
+			a.logEpisode(now)
+		}
 	})
-	a.OnDeactivate(func() { bus.RemoveFault(hookID) })
+	a.handle("connector.on", func(int64) { in.installTx(a, "connector") })
+	a.handle("connector.off", func(int64) { in.removeRole(a, "connector") })
+	in.timer(a, "connector.on", start, 0)
+	a.OnDeactivate(func() { in.removeRole(a, "connector") })
 	if end > 0 {
-		in.cl.Sched.At(end, "fault.connector.off", func() { bus.RemoveFault(hookID) })
+		in.timer(a, "connector.off", end, 0)
 	}
 	return a
 }
@@ -197,23 +193,22 @@ func (in *Injector) ConnectorRx(comp tt.NodeID, start, end sim.Time, dropProb fl
 	})
 	a.Chain.Append(core.Stage{Kind: core.StageFault, At: start, FRU: fru,
 		Detail: "inbound connector fault (borderline)"})
-	bus := in.cl.Bus
-	var hookID int
-	in.cl.Sched.At(start, "fault.connector.rx.on", func() {
-		hookID = bus.AddRxFault(func(rcv tt.NodeID, f *tt.Frame, st tt.FrameStatus) tt.FrameStatus {
-			if !a.Active() || rcv != comp || st != tt.FrameOK || f.Sender == comp {
-				return st
-			}
-			if in.rng.Bool(dropProb) {
-				a.logEpisode(in.cl.Sched.Now())
-				return tt.FrameOmitted
-			}
+	a.rxRole("connector.rx", func(rcv tt.NodeID, f *tt.Frame, st tt.FrameStatus) tt.FrameStatus {
+		if !a.Active() || rcv != comp || st != tt.FrameOK || f.Sender == comp {
 			return st
-		})
+		}
+		if in.rng.Bool(dropProb) {
+			a.logEpisode(in.cl.Sched.Now())
+			return tt.FrameOmitted
+		}
+		return st
 	})
-	a.OnDeactivate(func() { bus.RemoveFault(hookID) })
+	a.handle("connector.rx.on", func(int64) { in.installRx(a, "connector.rx") })
+	a.handle("connector.rx.off", func(int64) { in.removeRole(a, "connector.rx") })
+	in.timer(a, "connector.rx.on", start, 0)
+	a.OnDeactivate(func() { in.removeRole(a, "connector.rx") })
 	if end > 0 {
-		in.cl.Sched.At(end, "fault.connector.rx.off", func() { bus.RemoveFault(hookID) })
+		in.timer(a, "connector.rx.off", end, 0)
 	}
 	return a
 }
@@ -291,19 +286,25 @@ func (in *Injector) IntermittentInternal(comp tt.NodeID, start sim.Time, ratePer
 // episode the component's frames are corrupted for outage duration; the
 // next episode follows an exponential inter-arrival at the (possibly
 // accelerating) rate. Episodes stop when the activation window closes.
+// Overlapping episodes install independent hooks; each off-timer carries
+// its episode's bus handle as the timer argument.
 func (in *Injector) scheduleEpisodes(a *Activation, comp tt.NodeID, acc WearoutAcceleration, outage sim.Duration) {
-	bus := in.cl.Bus
-	var next func()
+	a.txRole("episode", func(f *tt.Frame) {
+		if !a.Active() || f.Sender != comp || f.Status != tt.FrameOK {
+			return
+		}
+		f.Status = tt.FrameCorrupted
+		f.CorruptBits += 2
+	})
 	schedule := func(from sim.Time) {
 		rate := acc.RatePerHour(from)
 		if rate <= 0 {
 			return
 		}
 		gap := sim.DurationFromHours(in.rng.Exp(rate))
-		at := from.Add(gap)
-		in.cl.Sched.At(at, "fault.episode", next)
+		in.timer(a, "episode", from.Add(gap), 0)
 	}
-	next = func() {
+	a.handle("episode", func(int64) {
 		now := in.cl.Sched.Now()
 		if !a.Active() || (a.End != 0 && now > a.End) {
 			return
@@ -311,19 +312,13 @@ func (in *Injector) scheduleEpisodes(a *Activation, comp tt.NodeID, acc WearoutA
 		a.logEpisode(now)
 		fru := core.HardwareFRU(int(comp))
 		appendFailure(&a.Chain, now, fru, "transient outage episode")
-		hookID := bus.AddTxFault(func(f *tt.Frame) {
-			if !a.Active() || f.Sender != comp || f.Status != tt.FrameOK {
-				return
-			}
-			f.Status = tt.FrameCorrupted
-			f.CorruptBits += 2
-		})
-		in.cl.Sched.After(sim.Duration(1+in.rng.Intn(int(outage))), "fault.episode.off", func() {
-			bus.RemoveFault(hookID)
-		})
+		hookID := in.installTx(a, "episode")
+		in.timer(a, "episode.off", now.Add(sim.Duration(1+in.rng.Intn(int(outage)))), int64(hookID))
 		schedule(now)
-	}
-	in.cl.Sched.At(a.Start, "fault.episode.first", func() { schedule(in.cl.Sched.Now()) })
+	})
+	a.handle("episode.off", func(arg int64) { in.removeHookID(a, int(arg)) })
+	a.handle("episode.first", func(int64) { schedule(in.cl.Sched.Now()) })
+	in.timer(a, "episode.first", a.Start, 0)
 }
 
 // PermanentFailSilent kills the component at time at: it omits all frames
@@ -341,13 +336,14 @@ func (in *Injector) PermanentFailSilent(comp tt.NodeID, at sim.Time) *Activation
 	})
 	a.Chain.Append(core.Stage{Kind: core.StageFault, At: at, FRU: fru,
 		Detail: "permanent hardware defect (e.g. PCB crack)"})
-	in.cl.Sched.At(at, "fault.permanent", func() {
+	a.handle("permanent", func(int64) {
 		if !a.Active() {
 			return
 		}
 		in.cl.Bus.SetAlive(comp, false)
 		appendFailure(&a.Chain, at, fru, "continuous frame omission")
 	})
+	in.timer(a, "permanent", at, 0)
 	// Replacing the component brings a working unit back online.
 	a.OnDeactivate(func() { in.cl.Bus.SetAlive(comp, true) })
 	return a
@@ -369,24 +365,25 @@ func (in *Injector) PermanentBabbling(comp tt.NodeID, at sim.Time) *Activation {
 	a.Chain.Append(core.Stage{Kind: core.StageFault, At: at, FRU: fru,
 		Detail: "permanent controller defect (babbling idiot)"})
 	bus := in.cl.Bus
-	var hookID int
-	in.cl.Sched.At(at, "fault.babbling", func() {
+	a.txRole("babble", func(f *tt.Frame) {
+		if !a.Active() || f.Sender != comp || f.Status != tt.FrameOK {
+			return
+		}
+		f.Status = tt.FrameCorrupted
+		f.CorruptBits += 16
+	})
+	a.handle("babbling", func(int64) {
 		if !a.Active() {
 			return
 		}
 		bus.SetBabbling(comp, true)
-		hookID = bus.AddTxFault(func(f *tt.Frame) {
-			if !a.Active() || f.Sender != comp || f.Status != tt.FrameOK {
-				return
-			}
-			f.Status = tt.FrameCorrupted
-			f.CorruptBits += 16
-		})
+		in.installTx(a, "babble")
 		appendFailure(&a.Chain, at, fru, "garbage transmission in own slot")
 	})
+	in.timer(a, "babbling", at, 0)
 	a.OnDeactivate(func() {
 		bus.SetBabbling(comp, false)
-		bus.RemoveFault(hookID)
+		in.removeRole(a, "babble")
 	})
 	return a
 }
@@ -412,13 +409,14 @@ func (in *Injector) DefectiveQuartz(comp tt.NodeID, at sim.Time, driftPPM float6
 		Detail: "quartz damage (thermal cycling / shock)"})
 	osc := in.cl.Bus.Clocks.Oscillators[int(comp)]
 	oldDrift := osc.DriftPPM
-	in.cl.Sched.At(at, "fault.quartz", func() {
+	a.handle("quartz", func(int64) {
 		if !a.Active() {
 			return
 		}
 		osc.DriftPPM = driftPPM
 		appendFailure(&a.Chain, at, fru, "loss of clock synchronization")
 	})
+	in.timer(a, "quartz", at, 0)
 	// A replacement component arrives with a healthy oscillator and is
 	// readmitted to the synchronized ensemble.
 	a.OnDeactivate(func() {
@@ -558,13 +556,14 @@ func (in *Injector) JobCrash(j *component.Instance, at sim.Time) *Activation {
 	})
 	a.Chain.Append(core.Stage{Kind: core.StageFault, At: at, FRU: fru,
 		Detail: "software design fault causing partition halt"})
-	in.cl.Sched.At(at, "fault.jobcrash", func() {
+	a.handle("jobcrash", func(int64) {
 		if !a.Active() {
 			return
 		}
 		j.Halted = true
 		appendFailure(&a.Chain, at, fru, "job silent (stale port state)")
 	})
+	in.timer(a, "jobcrash", at, 0)
 	// A software update restarts the job with the corrected version.
 	a.OnDeactivate(func() { j.Halted = false })
 	return a

@@ -8,6 +8,7 @@ package scenario
 
 import (
 	"context"
+	"io"
 
 	"decos/internal/baseline"
 	"decos/internal/component"
@@ -62,11 +63,66 @@ func Fig10With(seed uint64, opts diagnosis.Options, extra ...engine.Option) *Sys
 	return fig10Engine(seed, opts, extra)
 }
 
+// InjectPlan is one planned campaign injection: the randomized targeting
+// happens at manifest time (drawing from the "campaign" stream), so the
+// same plan on the same seed always hits the same FRU.
+type InjectPlan struct {
+	Kind FaultKind
+	At   sim.Time
+	// Horizon bounds open activation windows (the vehicle's total span).
+	Horizon sim.Time
+}
+
+// Fig10Faulted is Fig10With with the injections routed through the
+// engine's fault manifest instead of applied after build. This is the
+// checkpoint-compatible form: engine.WithRestore reconstructs a run by
+// re-executing the manifest, so injections living outside it would be
+// invisible to a restore. The activations land in the injector's ledger
+// in plan order.
+func Fig10Faulted(seed uint64, opts diagnosis.Options, plan []InjectPlan, extra ...engine.Option) *System {
+	sys := &System{}
+	return sys.assemble(seed, opts, append([]engine.Option{
+		engine.WithFaults(func(inj *faults.Injector) {
+			for _, p := range plan {
+				sys.InjectWith(inj, p.Kind, p.At, p.Horizon)
+			}
+		}),
+	}, extra...))
+}
+
+// Fig10Restored rebuilds a Fig. 10 system from an engine checkpoint:
+// Fig10Faulted's configuration plus engine.WithRestore, through the
+// error-returning constructor. Checkpoint bytes are external input
+// (files, uplinks), so a corrupt or mismatched stream must surface as an
+// error, not a panic.
+func Fig10Restored(r io.Reader, seed uint64, opts diagnosis.Options, plan []InjectPlan, extra ...engine.Option) (*System, error) {
+	sys := &System{}
+	return sys.assembleE(seed, opts, append([]engine.Option{
+		engine.WithFaults(func(inj *faults.Injector) {
+			for _, p := range plan {
+				sys.InjectWith(inj, p.Kind, p.At, p.Horizon)
+			}
+		}),
+		engine.WithRestore(r),
+	}, extra...))
+}
+
 // fig10Engine assembles the Fig. 10 system through the run engine; extra
 // options (a trace sink, a fault manifest) compose onto the canonical
 // configuration.
 func fig10Engine(seed uint64, opts diagnosis.Options, extra []engine.Option) *System {
-	sys := &System{}
+	return (&System{}).assemble(seed, opts, extra)
+}
+
+func (sys *System) assemble(seed uint64, opts diagnosis.Options, extra []engine.Option) *System {
+	s, err := sys.assembleE(seed, opts, extra)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (sys *System) assembleE(seed uint64, opts diagnosis.Options, extra []engine.Option) (*System, error) {
 	eopts := append([]engine.Option{
 		engine.WithTopology(4, 250*sim.Microsecond, 256),
 		engine.WithSeed(seed),
@@ -75,13 +131,16 @@ func fig10Engine(seed uint64, opts diagnosis.Options, extra []engine.Option) *Sy
 		engine.WithDiagnosis(DiagNode, opts),
 		engine.WithOBD(),
 	}, extra...)
-	eng := engine.MustNew(eopts...)
+	eng, err := engine.New(eopts...)
+	if err != nil {
+		return nil, err
+	}
 	sys.Engine = eng
 	sys.Cluster = eng.Cluster
 	sys.Diag = eng.Diag
 	sys.OBD = eng.OBD
 	sys.Injector = eng.Injector
-	return sys
+	return sys, nil
 }
 
 // buildFig10 populates the Fig. 10 topology: three application DASs (two

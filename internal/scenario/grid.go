@@ -16,18 +16,24 @@ import (
 // the diagnostic DAS's analysis stage on the last component. Channel i+1
 // carries the i-th sensor's signal.
 func Grid(n int, seed uint64, opts diagnosis.Options) *System {
+	return GridWith(n, seed, opts)
+}
+
+// GridWith is Grid with extra engine options composed onto the canonical
+// configuration — checkpoint sinks, restore sources, trace writers.
+func GridWith(n int, seed uint64, opts diagnosis.Options, extra ...engine.Option) *System {
 	if n < 3 {
 		panic("scenario: grid needs at least 3 components")
 	}
 	sys := &System{}
-	eng := engine.MustNew(
+	eng := engine.MustNew(append([]engine.Option{
 		engine.WithTopology(n, 250*sim.Microsecond, 160),
 		engine.WithSeed(seed),
 		engine.WithClocks(50, 0, 20, 1),
 		engine.WithBuild(buildGrid(n)),
 		engine.WithDiagnosis(tt.NodeID(n-1), opts),
 		engine.WithOBD(),
-	)
+	}, extra...)...)
 	sys.Engine = eng
 	sys.Cluster = eng.Cluster
 	sys.Diag = eng.Diag

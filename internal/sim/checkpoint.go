@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"decos/internal/ckpt"
+)
+
+// Checkpoint support for the simulation substrate. A checkpoint is taken
+// at a round boundary (between the last slot event of round R and the
+// first of round R+1), so the scheduler's semantic state is exactly the
+// clock: pending events are reconstructed by the owning subsystems (the
+// TT bus re-arms its slot chain, the fault injector re-arms its tracked
+// timers), and the event counters (fired/scheduled/pooled) are telemetry,
+// not semantics — the InlineTo fast path makes them depend on dispatch
+// history, so they are deliberately excluded from the wire format.
+
+// Snapshot serializes the scheduler's semantic state: the current time.
+func (s *Scheduler) Snapshot(e *ckpt.Encoder) {
+	e.Varint(int64(s.now))
+}
+
+// Restore positions a freshly built scheduler at the checkpointed time.
+// Every pending event is dropped — the subsystems that owned them re-arm
+// their own continuations after their state is restored.
+func (s *Scheduler) Restore(d *ckpt.Decoder) error {
+	t := Time(d.Varint())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if t < s.now {
+		return fmt.Errorf("sim: checkpoint time %v before current %v", t, s.now)
+	}
+	s.DropPending()
+	s.now = t
+	return nil
+}
+
+// DropPending cancels and discards every queued event. Pooled events are
+// returned to the free list so a restored scheduler keeps the pool warm.
+func (s *Scheduler) DropPending() {
+	for _, e := range s.queue {
+		e.index = -1
+		e.canceled = true
+		if e.pooled {
+			e.Fire, e.fn, e.Name = nil, nil, ""
+			s.free = append(s.free, e)
+		}
+	}
+	s.queue = s.queue[:0]
+}
+
+// State returns the raw xoshiro256** state, for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator state with a previously captured one.
+func (r *RNG) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("sim: RNG state must not be all zero")
+	}
+	r.s = s
+}
+
+// Snapshot serializes every open named stream's generator state, sorted
+// by name so the encoding is canonical regardless of open order.
+func (st *Streams) Snapshot(e *ckpt.Encoder) {
+	names := make([]string, 0, len(st.open))
+	for name := range st.open {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.Int(len(names))
+	for _, name := range names {
+		e.String(name)
+		s := st.open[name].State()
+		for _, w := range s {
+			e.Uint64(w)
+		}
+	}
+}
+
+// Restore overwrites the states of the named streams. Streams not yet
+// open are opened first (Stream derives the seed, then the captured state
+// replaces it), so a stream that was first drawn from mid-run is restored
+// even if the reconstruction has not touched it yet.
+func (st *Streams) Restore(d *ckpt.Decoder) error {
+	n := d.Len(1 << 20)
+	for i := 0; i < n; i++ {
+		name := d.String()
+		var s [4]uint64
+		for j := range s {
+			s[j] = d.Uint64()
+		}
+		if d.Err() != nil {
+			break
+		}
+		st.Stream(name).SetState(s)
+	}
+	return d.Err()
+}

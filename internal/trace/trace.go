@@ -77,6 +77,11 @@ type Recorder struct {
 	// (recording stops after it).
 	Events int
 	Err    error
+
+	// Incremental cursors over the injector ledger and the trust-sampling
+	// epochs; fields (not closure state) so checkpoints can carry them.
+	ledgerSeen     int
+	lastTrustEpoch int64
 }
 
 // Attach wires an NDJSON recorder onto a cluster (and, optionally, its
@@ -106,24 +111,22 @@ func AttachSink(cl *component.Cluster, d *diagnosis.Diagnostics, inj *faults.Inj
 		})
 	})
 
-	var ledgerSeen int
-	lastTrustEpoch := int64(0)
 	cl.OnRound(func(round int64, now sim.Time) {
 		if inj != nil {
-			for _, a := range inj.Ledger()[ledgerSeen:] {
+			for _, a := range inj.Ledger()[r.ledgerSeen:] {
 				r.write(Event{
 					T: now.Micros(), Kind: "injection",
 					Class: a.Class.String(), Subject: a.Culprit.String(), Detail: a.Detail,
 				})
 			}
-			ledgerSeen = len(inj.Ledger())
+			r.ledgerSeen = len(inj.Ledger())
 		}
 		if d == nil {
 			return
 		}
 		if opts.TrustEveryEpochs > 0 {
-			if e := d.Assessor.Epoch(); e >= lastTrustEpoch+opts.TrustEveryEpochs {
-				lastTrustEpoch = e
+			if e := d.Assessor.Epoch(); e >= r.lastTrustEpoch+opts.TrustEveryEpochs {
+				r.lastTrustEpoch = e
 				for i := 0; i < d.Reg.Len(); i++ {
 					tv := float64(d.Assessor.Trust(diagnosis.FRUIndex(i)))
 					r.write(Event{

@@ -1,0 +1,124 @@
+package tt
+
+import (
+	"fmt"
+	"sort"
+
+	"decos/internal/ckpt"
+)
+
+// Checkpointing of the TDMA bus. A checkpoint is taken inside a round
+// hook — after the last slot of round R has been delivered and every
+// controller's OnRoundEnd has run, before the slot chain event for round
+// R+1 exists. The bus's semantic state at that boundary is numeric:
+// liveness, babbling flags, guardian tallies, per-node membership
+// records. Fault hooks (tx/rx filters) are closures and are restored by
+// their owner, the fault injector, through InstallTxFault/InstallRxFault
+// with their original ids — hook ids order the filter composition, so
+// preserving them preserves frame perturbation semantics exactly.
+
+// Snapshot serializes the bus's mutable state.
+func (b *Bus) Snapshot(e *ckpt.Encoder) {
+	e.Varint(b.round)
+	e.Int(b.nextHookID)
+	e.Bool(b.GuardianEnabled)
+	e.Int(b.GuardianBlocks)
+	for _, c := range b.statusCounts {
+		e.Varint(c)
+	}
+	e.Int(len(b.nodeOrder))
+	for _, n := range b.nodeOrder {
+		e.Int(int(n))
+		e.Bool(b.alive[n])
+		e.Bool(b.babbling[n])
+		m := b.membership[n]
+		e.Int(len(m.lastOK))
+		for i := range m.lastOK {
+			e.Varint(m.lastOK[i])
+			e.Varint(m.lastSeen[i])
+			e.Int(m.failCount[i])
+		}
+	}
+}
+
+// Restore overwrites a freshly built (attached and started) bus's state.
+// It does not schedule anything; call Rearm after every subsystem's state
+// — including the injector's hooks and timers — is back in place.
+func (b *Bus) Restore(d *ckpt.Decoder) error {
+	b.round = d.Varint()
+	b.nextHookID = d.Int()
+	b.GuardianEnabled = d.Bool()
+	b.GuardianBlocks = d.Int()
+	for i := range b.statusCounts {
+		b.statusCounts[i] = d.Varint()
+	}
+	n := d.Len(1 << 16)
+	if d.Err() == nil && n != len(b.nodeOrder) {
+		return fmt.Errorf("tt: checkpoint has %d nodes, bus has %d", n, len(b.nodeOrder))
+	}
+	b.babblers = 0
+	for i := 0; i < n && d.Err() == nil; i++ {
+		id := NodeID(d.Int())
+		if !b.attached(id) {
+			return fmt.Errorf("tt: checkpoint names unattached node %d", id)
+		}
+		b.alive[id] = d.Bool()
+		b.babbling[id] = d.Bool()
+		if b.babbling[id] {
+			b.babblers++
+		}
+		m := b.membership[id]
+		sz := d.Len(1 << 16)
+		if d.Err() == nil && sz != len(m.lastOK) {
+			return fmt.Errorf("tt: checkpoint membership size %d, view has %d", sz, len(m.lastOK))
+		}
+		for j := 0; j < sz && d.Err() == nil; j++ {
+			m.lastOK[j] = d.Varint()
+			m.lastSeen[j] = d.Varint()
+			m.failCount[j] = d.Int()
+		}
+	}
+	return d.Err()
+}
+
+// Rearm schedules the slot chain continuation a checkpoint interrupted:
+// the first slot of the earliest round starting at or after the restored
+// clock. (Derived from the clock, not b.round: at a round boundary the
+// next round is b.round+1, but a checkpoint taken at t=0 — before any
+// slot ran — must re-arm round 0, where b.round is also 0.) It must be
+// called exactly once per restore, last among the re-arming subsystems,
+// so the slot event's queue position (freshest at its fire time) matches
+// the uninterrupted run's.
+func (b *Bus) Rearm() {
+	if !b.running {
+		panic("tt: Rearm before Start")
+	}
+	now := int64(b.Sched.Now())
+	rd := b.Cfg.RoundDuration().Micros()
+	r := now / rd
+	if now%rd != 0 {
+		r++
+	}
+	b.Sched.AtFunc(b.Cfg.SlotStart(r, 0), "tt.slot", b.slotFn, r, 0)
+}
+
+// InstallTxFault reinstalls a sender-side fault hook under its original
+// id (restore path only — AddTxFault allocates fresh ids). The id must
+// come from a checkpoint, i.e. be below the restored id horizon.
+func (b *Bus) InstallTxFault(id int, f TxFault) {
+	if id >= b.nextHookID {
+		panic(fmt.Sprintf("tt: InstallTxFault id %d beyond horizon %d", id, b.nextHookID))
+	}
+	b.txFaults = append(b.txFaults, txHook{id: id, fn: f})
+	sort.SliceStable(b.txFaults, func(i, j int) bool { return b.txFaults[i].id < b.txFaults[j].id })
+}
+
+// InstallRxFault reinstalls a receiver-side fault hook under its original
+// id (restore path only).
+func (b *Bus) InstallRxFault(id int, f RxFault) {
+	if id >= b.nextHookID {
+		panic(fmt.Sprintf("tt: InstallRxFault id %d beyond horizon %d", id, b.nextHookID))
+	}
+	b.rxFaults = append(b.rxFaults, rxHook{id: id, fn: f})
+	sort.SliceStable(b.rxFaults, func(i, j int) bool { return b.rxFaults[i].id < b.rxFaults[j].id })
+}

@@ -1,0 +1,55 @@
+package warranty
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// StateFileName is the file decos-fleetd persists its collector into
+// under -state-dir.
+const StateFileName = "warranty-state.json"
+
+// SaveState atomically writes the snapshot as JSON to path: the bytes
+// land in a temporary file in the same directory first and are renamed
+// over the target, so a crash mid-write leaves the previous state file
+// intact rather than a truncated one.
+func SaveState(path string, s *Snapshot) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("warranty: encoding state: %v", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, StateFileName+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadState reads and validates a state file written by SaveState. A
+// missing file is returned as the raw os.IsNotExist error so the caller
+// can distinguish a cold start from a corrupt state.
+func LoadState(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("warranty: decoding %s: %v", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("warranty: %s: %v", path, err)
+	}
+	return &s, nil
+}

@@ -44,4 +44,11 @@ echo "== fuzz smoke (binary trace decoder) =="
 # plain test above; this leg explores beyond it.
 go test -run='^$' -fuzz='^FuzzBinaryReader$' -fuzztime=10s ./internal/trace/
 
+echo "== fuzz smoke (engine checkpoint restore) =="
+# Same contract for the restore path: checkpoint files travel through
+# disks and uplinks, so corrupt or truncated bytes must surface as
+# errors, never panics. Seeds: the committed v1 golden fixture plus
+# truncated and bit-flipped variants.
+go test -run='^$' -fuzz='^FuzzCheckpointReader$' -fuzztime=10s ./internal/engine/
+
 echo "OK"

@@ -1,0 +1,46 @@
+#!/bin/sh
+# Demo of the counterfactual replay diagnoser (`make whatif-demo`):
+# record a Fig. 10 run with a permanent component fault, checkpointing
+# the engine every EVERY rounds and tracing to NDJSON — then run
+# decos-whatif twice against the recording:
+#
+#   1. remove    — "would the symptoms go away if the suspected FRU were
+#                  replaced?" The factual replica is first cross-checked
+#                  against the recorded trace, then the tool reports the
+#                  first slot where the repaired counterfactual diverges
+#                  and the final-verdict diff (the culprit exonerated).
+#   2. wrong-fru — the misdiagnosis probe: move the same fault to the
+#                  culprit's neighbour and show that the evidence
+#                  distinguishes the two.
+#
+# Environment overrides: SEED (default 20050404), ROUNDS (400), AT (100,
+# injection ms), EVERY (50, checkpoint cadence in rounds).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SEED=${SEED:-20050404}
+ROUNDS=${ROUNDS:-400}
+AT=${AT:-100}
+EVERY=${EVERY:-50}
+DIR=$(mktemp -d "${TMPDIR:-/tmp}/decos-whatif-demo.XXXXXX")
+trap 'rm -rf "$DIR"' EXIT
+
+echo "== building decos-sim and decos-whatif =="
+go build -o "$DIR/" ./cmd/decos-sim ./cmd/decos-whatif
+
+echo
+echo "== recording: permanent fault at ${AT}ms, checkpoints every ${EVERY} rounds =="
+"$DIR/decos-sim" -seed "$SEED" -rounds "$ROUNDS" -fault permanent -at "$AT" \
+    -checkpoint-every "$EVERY" -checkpoint-dir "$DIR" -trace "$DIR/trace.ndjson"
+
+echo "== hypothesis: remove (replace the suspected FRU) =="
+"$DIR/decos-whatif" -ckpt-dir "$DIR" -seed "$SEED" -rounds "$ROUNDS" \
+    -fault permanent -at "$AT" -trace "$DIR/trace.ndjson" \
+    -hypothesis remove -target 0
+
+echo
+echo "== hypothesis: wrong-fru (was the neighbour the real culprit?) =="
+"$DIR/decos-whatif" -ckpt-dir "$DIR" -seed "$SEED" -rounds "$ROUNDS" \
+    -fault permanent -at "$AT" -trace "$DIR/trace.ndjson" \
+    -hypothesis wrong-fru -target 0
