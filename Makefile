@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test race bench benchfull benchall build fmt vet metrics-demo cluster-demo cluster-bench ingest-bench whatif-demo
+.PHONY: check test race bench benchfull benchall build fmt vet conform metrics-demo cluster-demo cluster-bench ingest-bench whatif-demo
 
 # Commit gate: gofmt (failing), vet, build, full tests, and a targeted
 # -race leg over the concurrent packages (scenario, warranty, engine).
@@ -28,13 +28,20 @@ bench:
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr6.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr7.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr8.json
+	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr9.json
 
 # Full curated benchmark run (steady-state set at default benchtime plus
-# one-shot E8/E13); pass BASELINE=old.txt (bench text or a committed
-# BENCH_<pr>.json) to diff against a prior run, GATE=1.10 to fail on
-# regressions beyond the ratio.
+# one-shot E8/E13), gated against the current-rig baseline. BENCH_pr2's
+# ns figures predate a machine-state change, so BENCH_pr9.json is the
+# anchor ns ratios are meaningful against. The default gate is 1.25:
+# back-to-back runs on the shared rig show ~±15% ns noise (alloc ratios
+# are the tight invariant and are pinned by TestAllocGuard instead).
+# Override with BASELINE=old.txt (bench text or a committed
+# BENCH_<pr>.json) and GATE=ratio, or GATE= to diff without failing.
+BASELINE ?= BENCH_pr9.json
+GATE ?= 1.25
 benchfull:
-	./scripts/bench.sh $(if $(BASELINE),-baseline $(BASELINE)) $(if $(GATE),-gate $(GATE))
+	./scripts/bench.sh -baseline $(BASELINE) $(if $(GATE),-gate $(GATE))
 
 # Every benchmark in the repository.
 benchall:
@@ -63,6 +70,11 @@ cluster-bench:
 # BENCH_pr7.json artifact).
 ingest-bench:
 	./scripts/ingest-bench.sh -gate 0.2 -o BENCH_pr7.json
+
+# Scenario-pack conformance gate: every manifest under packs/ scored
+# against both classifiers (cmd/decos-conform via scripts/conform.sh).
+conform:
+	./scripts/conform.sh
 
 fmt:
 	gofmt -w .

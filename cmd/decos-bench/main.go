@@ -23,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +34,8 @@ import (
 
 	"decos/internal/cluster"
 	"decos/internal/experiments"
+	"decos/internal/pack"
+	"decos/internal/scenario"
 	"decos/internal/telemetry"
 	"decos/internal/trace"
 )
@@ -43,12 +46,21 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write allocation profile to file on exit")
 	metricsEvery := flag.Duration("metrics", 0, "dump a telemetry snapshot to stderr every interval (0 = off)")
+	scenarioPath := flag.String("scenario", "", "score a scenario pack (conformance against both classifiers) instead of running experiments")
 	emitCorpus := flag.String("emit-corpus", "", "write a deterministic loadgen fleet trace to `FILE` and exit")
 	corpusVehicles := flag.Int("corpus-vehicles", 100, "corpus mode: vehicles in the fleet")
 	corpusEvents := flag.Int("corpus-events", 64, "corpus mode: events per vehicle")
 	corpusSeed := flag.Uint64("corpus-seed", 1, "corpus mode: loadgen seed")
 	traceFormat := flag.String("trace-format", "binary", "corpus mode: trace encoding, ndjson or binary")
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		if err := scorePack(*scenarioPath); err != nil {
+			fmt.Fprintf(os.Stderr, "decos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *emitCorpus != "" {
 		if err := emitCorpusFile(*emitCorpus, *corpusVehicles, *corpusEvents, *corpusSeed, *traceFormat); err != nil {
@@ -107,6 +119,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// scorePack loads one scenario pack and scores it against both
+// classifiers through the conformance runner, timing the run.
+func scorePack(path string) error {
+	m, err := pack.Load(path)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	pr := scenario.Conform(context.Background(), m)
+	rep := &pack.Report{Version: pack.Version}
+	rep.Add(pr)
+	fmt.Print(rep.Format())
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+	if !pr.Pass {
+		return fmt.Errorf("pack %s failed conformance", m.Name)
+	}
+	return nil
 }
 
 // emitCorpusFile streams a whole loadgen fleet through one sink, so a

@@ -1,4 +1,4 @@
-// Command decos-sim runs one Fig. 10 DECOS cluster with an optional fault
+// Command decos-sim runs one DECOS cluster with an optional fault
 // injection and prints the diagnostic outcome: per-FRU verdicts, trust
 // levels, the OBD baseline's trouble codes, and the membership view.
 //
@@ -6,17 +6,24 @@
 //
 //	decos-sim [-seed N] [-rounds N] [-fault kind] [-at ms] [-v] [-metrics N]
 //	          [-checkpoint-every N] [-checkpoint-dir DIR]
+//	decos-sim -scenario pack.toml [-seed N] [-rounds N] [-v] ...
 //
 // Fault kinds: emi seu connector-tx connector-rx wearout intermittent
 // permanent quartz config bohrbug heisenbug job-crash sensor-stuck
 // sensor-drift (empty = healthy run).
 //
+// With -scenario the cluster is built from a declarative scenario pack
+// (a JSON or TOML manifest, see packs/) instead of the built-in Fig. 10
+// setup: topology, fault mix and environment profiles all come from the
+// manifest. Explicit -seed/-rounds flags override the pack's values;
+// -fault is rejected (declare faults in the pack instead).
+//
 // With -checkpoint-every N the engine state is serialized every N rounds
 // to DIR/ckpt_<rounds>.bin (the number is the count of completed rounds,
 // i.e. the StateVersion of the restored engine). decos-whatif restores
-// these files for counterfactual replay. The injection is routed through
+// these files for counterfactual replay. Injections are routed through
 // the engine's fault manifest either way, so checkpoints always
-// reconstruct it.
+// reconstruct them.
 //
 // With -metrics N the run is instrumented with the telemetry registry and
 // a one-line JSON snapshot is dumped to stderr every N rounds (and once at
@@ -37,6 +44,7 @@ import (
 	"decos/internal/diagnosis"
 	"decos/internal/engine"
 	"decos/internal/maintenance"
+	"decos/internal/pack"
 	"decos/internal/scenario"
 	"decos/internal/sim"
 	"decos/internal/telemetry"
@@ -46,6 +54,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	rounds := flag.Int64("rounds", 3000, "TDMA rounds to simulate (1 ms each)")
+	scenarioPath := flag.String("scenario", "", "build the cluster from a scenario pack (JSON/TOML manifest)")
 	faultName := flag.String("fault", "", "fault kind to inject (empty = healthy)")
 	atMS := flag.Int64("at", 300, "injection time in ms")
 	verbose := flag.Bool("v", false, "print the fault-error-failure chain and symptom stats")
@@ -58,22 +67,6 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-
-	var kind scenario.FaultKind = -1
-	if *faultName != "" {
-		for _, k := range scenario.AllKinds() {
-			if k.String() == *faultName {
-				kind = k
-			}
-		}
-		if kind < 0 {
-			fmt.Fprintf(os.Stderr, "unknown fault kind %q; known kinds:\n", *faultName)
-			for _, k := range scenario.AllKinds() {
-				fmt.Fprintf(os.Stderr, "  %s\n", k)
-			}
-			os.Exit(2)
-		}
-	}
 
 	var metrics *telemetry.Registry
 	if *metricsEvery > 0 {
@@ -90,21 +83,42 @@ func main() {
 		}, *ckptEvery))
 	}
 
-	// The injection rides the engine's fault manifest (not a post-build
-	// call) so a checkpoint restore reconstructs it.
-	var plan []scenario.InjectPlan
-	if kind >= 0 {
-		plan = append(plan, scenario.InjectPlan{
-			Kind:    kind,
-			At:      sim.Time(*atMS) * sim.Time(sim.Millisecond),
-			Horizon: sim.Time(*rounds) * sim.Time(sim.Millisecond),
-		})
+	var eng *engine.Engine
+	if *scenarioPath != "" {
+		eng = engineFromPack(*scenarioPath, *faultName, seed, rounds, eopts)
+	} else {
+		var kind scenario.FaultKind = -1
+		if *faultName != "" {
+			for _, k := range scenario.AllKinds() {
+				if k.String() == *faultName {
+					kind = k
+				}
+			}
+			if kind < 0 {
+				fmt.Fprintf(os.Stderr, "unknown fault kind %q; known kinds:\n", *faultName)
+				for _, k := range scenario.AllKinds() {
+					fmt.Fprintf(os.Stderr, "  %s\n", k)
+				}
+				os.Exit(2)
+			}
+		}
+		// The injection rides the engine's fault manifest (not a post-build
+		// call) so a checkpoint restore reconstructs it.
+		var plan []scenario.InjectPlan
+		if kind >= 0 {
+			plan = append(plan, scenario.InjectPlan{
+				Kind:    kind,
+				At:      sim.Time(*atMS) * sim.Time(sim.Millisecond),
+				Horizon: sim.Time(*rounds) * sim.Time(sim.Millisecond),
+			})
+		}
+		eng = scenario.Fig10Faulted(*seed, diagnosis.Options{}, plan, eopts...).Engine
 	}
-	var rec *trace.Recorder
-	sys := scenario.Fig10Faulted(*seed, diagnosis.Options{}, plan, eopts...)
-	for _, act := range sys.Injector.Ledger() {
+
+	for _, act := range eng.Injector.Ledger() {
 		fmt.Printf("injected: %s\n", act)
 	}
+	var rec *trace.Recorder
 	if *tracePath != "" {
 		format, err := trace.ParseFormat(*traceFormat)
 		if err != nil {
@@ -120,27 +134,27 @@ func main() {
 		// Close the sink (not just the file) on exit: the binary encoding
 		// writes its stream header on close for an event-free run.
 		defer sink.Close()
-		rec = trace.AttachSink(sys.Cluster, sys.Diag, sys.Injector,
+		rec = trace.AttachSink(eng.Cluster, eng.Diag, eng.Injector,
 			sink, trace.Options{TrustEveryEpochs: 5})
 	}
 
-	if err := runWithMetrics(ctx, sys, *rounds, *metricsEvery, metrics); err != nil {
-		fmt.Fprintf(os.Stderr, "interrupted after %d of %d rounds\n", sys.Cluster.Round(), *rounds)
+	if err := runWithMetrics(ctx, eng, *rounds, *metricsEvery, metrics); err != nil {
+		fmt.Fprintf(os.Stderr, "interrupted after %d of %d rounds\n", eng.Cluster.Round(), *rounds)
 		os.Exit(130)
 	}
-	if err := sys.Engine.CkptErr; err != nil {
+	if err := eng.CkptErr; err != nil {
 		fmt.Fprintf(os.Stderr, "checkpointing failed: %v\n", err)
 		os.Exit(1)
 	}
-	now := sys.Cluster.Sched.Now()
+	now := eng.Cluster.Sched.Now()
 	fmt.Printf("simulated %d rounds (%v), %d events, %d symptoms disseminated\n\n",
-		*rounds, now, sys.Cluster.Sched.Fired(), sys.Diag.Assessor.SymptomsReceived)
+		*rounds, now, eng.Cluster.Sched.Fired(), eng.Diag.Assessor.SymptomsReceived)
 	if rec != nil {
 		fmt.Printf("trace: %d events written to %s\n\n", rec.Events, *tracePath)
 	}
 
 	fmt.Println("== DECOS diagnostic DAS ==")
-	verdicts := sys.Diag.Assessor.CurrentAll()
+	verdicts := eng.Diag.Assessor.CurrentAll()
 	if len(verdicts) == 0 {
 		fmt.Println("no findings: all FRUs conform to their specifications")
 	}
@@ -150,15 +164,15 @@ func main() {
 	}
 
 	fmt.Println("\n== trust levels ==")
-	for i := 0; i < sys.Diag.Reg.Len(); i++ {
+	for i := 0; i < eng.Diag.Reg.Len(); i++ {
 		idx := diagnosis.FRUIndex(i)
-		tr := sys.Diag.Assessor.Trust(idx)
+		tr := eng.Diag.Assessor.Trust(idx)
 		bar := renderBar(float64(tr), 30)
-		fmt.Printf("  %-22s %s %.3f\n", sys.Diag.Reg.FRU(idx), bar, float64(tr))
+		fmt.Printf("  %-22s %s %.3f\n", eng.Diag.Reg.FRU(idx), bar, float64(tr))
 	}
 
 	fmt.Println("\n== OBD baseline ==")
-	dtcs := sys.OBD.DTCs()
+	dtcs := eng.OBD.DTCs()
 	if len(dtcs) == 0 {
 		fmt.Println("no stored DTCs")
 	}
@@ -166,52 +180,91 @@ func main() {
 		fmt.Printf("  %s\n", d)
 	}
 
-	if len(sys.Injector.Ledger()) > 0 {
+	if len(eng.Injector.Ledger()) > 0 {
 		fmt.Println("\n== maintenance audit ==")
-		fmt.Print(maintenance.Evaluate(sys.Injector.Ledger(), sys.Diag).Format())
+		fmt.Print(maintenance.Evaluate(eng.Injector.Ledger(), eng.Diag).Format())
 	}
 
 	if *verbose {
-		for _, a := range sys.Injector.Ledger() {
+		for _, a := range eng.Injector.Ledger() {
 			fmt.Printf("\n== chain for %s ==\n  %s\n", a, a.Chain.String())
 		}
 		fmt.Println("\n== per-monitor symptom counts ==")
-		for _, m := range sys.Diag.Monitors {
+		for _, m := range eng.Diag.Monitors {
 			fmt.Printf("  component %d: %d symptoms sent\n", m.Node, m.SymptomsSent)
 		}
-		round := sys.Cluster.Round()
+		round := eng.Cluster.Round()
 		fmt.Println("\n== membership (view of component 0) ==")
-		for _, c := range sys.Cluster.Components() {
+		for _, c := range eng.Cluster.Components() {
 			fmt.Printf("  component %d member=%v\n", c.ID,
-				sys.Cluster.Bus.Membership(0).Member(c.ID, round))
+				eng.Cluster.Bus.Membership(0).Member(c.ID, round))
 		}
 	}
 
 	// Exit non-zero when a culprit was missed, for scripting.
-	if len(sys.Injector.Ledger()) > 0 {
-		r := maintenance.Evaluate(sys.Injector.Ledger(), sys.Diag)
+	if len(eng.Injector.Ledger()) > 0 {
+		r := maintenance.Evaluate(eng.Injector.Ledger(), eng.Diag)
 		if r.Missed > 0 {
 			os.Exit(1)
 		}
 	}
 }
 
-// runWithMetrics advances the system by rounds TDMA rounds. With a
+// engineFromPack builds the engine from a scenario pack manifest.
+// Explicit -seed/-rounds flags override the pack's values; seed and
+// rounds are written back so the caller's run length follows the pack.
+func engineFromPack(path, faultName string, seed *uint64, rounds *int64, eopts []engine.Option) *engine.Engine {
+	if faultName != "" {
+		fmt.Fprintln(os.Stderr, "-fault cannot be combined with -scenario: declare faults in the pack")
+		os.Exit(2)
+	}
+	m, err := pack.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if m.Campaign != nil {
+		fmt.Fprintf(os.Stderr, "%s is a fleet campaign pack; run it with decos-conform or decos-bench -scenario\n", path)
+		os.Exit(2)
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			m.Seed = *seed
+		case "rounds":
+			m.Rounds = *rounds
+		}
+	})
+	if err := m.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	*seed, *rounds = m.Seed, m.Rounds
+	fmt.Printf("scenario pack: %s (%s)\n", m.Name, path)
+	eng, err := m.Engine(eopts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return eng
+}
+
+// runWithMetrics advances the engine by rounds TDMA rounds. With a
 // metrics interval it runs in round-aligned chunks against the same
 // absolute deadlines a single run would pass through, dumping a snapshot
 // after each chunk — deterministic and bit-identical to the unchunked run.
-func runWithMetrics(ctx context.Context, sys *scenario.System, rounds, every int64, metrics *telemetry.Registry) error {
+func runWithMetrics(ctx context.Context, eng *engine.Engine, rounds, every int64, metrics *telemetry.Registry) error {
 	if every <= 0 || metrics == nil {
-		return sys.RunCtx(ctx, rounds)
+		return eng.Run(ctx, rounds)
 	}
-	roundUS := sys.Cluster.Cfg.RoundDuration().Micros()
+	roundUS := eng.Cluster.Cfg.RoundDuration().Micros()
 	for done := int64(0); done < rounds; {
 		n := every
 		if rem := rounds - done; n > rem {
 			n = rem
 		}
 		done += n
-		if err := sys.Cluster.Sched.RunUntilCtx(ctx, sim.Time(done*roundUS)-1); err != nil {
+		if err := eng.Cluster.Sched.RunUntilCtx(ctx, sim.Time(done*roundUS)-1); err != nil {
 			return err
 		}
 		_ = metrics.WriteJSON(os.Stderr)

@@ -62,6 +62,7 @@ var registry = []struct {
 	{"E12", E12Robustness},
 	{"E13", E13FleetWarranty},
 	{"E14", E14Whatif},
+	{"E15", E15PackConformance},
 	{"A1", A1WindowSweep},
 	{"A2", A2AlphaSweep},
 	{"A3", A3Encapsulation},

@@ -426,6 +426,59 @@ func (in *Injector) DefectiveQuartz(comp tt.NodeID, at sim.Time, driftPPM float6
 	return a
 }
 
+// TransientQuartz models a temperature-induced oscillator excursion
+// (thermal cycling, Section IV-A.1a): the component's clock drifts out
+// of spec at time at and returns to nominal after dur, when the
+// ensemble readmits it. Unlike DefectiveQuartz the hardware is healthy —
+// the drift is an external stress, so there is no culprit FRU and
+// replacing the component would be a no-fault-found removal. Requires
+// the cluster to run with a clock ensemble.
+func (in *Injector) TransientQuartz(comp tt.NodeID, at sim.Time, dur sim.Duration, driftPPM float64) *Activation {
+	if in.cl.Bus.Clocks == nil {
+		panic("faults: TransientQuartz requires Bus.Clocks")
+	}
+	if dur <= 0 {
+		dur = TransientOutage
+	}
+	fru := core.HardwareFRU(int(comp))
+	a := in.record(&Activation{
+		Class:       core.ComponentExternal,
+		Persistence: core.Transient,
+		Culprit:     NoCulprit,
+		Affected:    []core.FRU{fru},
+		Start:       at,
+		End:         at.Add(dur),
+		Detail:      fmt.Sprintf("thermal oscillator excursion (%.0f ppm, %v) on component %d", driftPPM, dur, comp),
+	})
+	a.Chain.Append(core.Stage{Kind: core.StageFault, At: at, FRU: fru,
+		Detail: "temperature excursion degrades oscillator frequency"})
+	osc := in.cl.Bus.Clocks.Oscillators[int(comp)]
+	oldDrift := osc.DriftPPM
+	a.handle("quartz-on", func(int64) {
+		if !a.Active() {
+			return
+		}
+		osc.DriftPPM = driftPPM
+		appendFailure(&a.Chain, at, fru, "loss of clock synchronization")
+	})
+	a.handle("quartz-off", func(int64) {
+		if !a.Active() {
+			return
+		}
+		osc.DriftPPM = oldDrift
+		in.cl.Bus.Clocks.Readmit(in.cl.Sched.Now(), int(comp))
+	})
+	in.timer(a, "quartz-on", at, 0)
+	in.timer(a, "quartz-off", at.Add(dur), 0)
+	// An early repair (component swap) also restores nominal drift; the
+	// readmission models the replacement joining the ensemble.
+	a.OnDeactivate(func() {
+		osc.DriftPPM = oldDrift
+		in.cl.Bus.Clocks.Readmit(in.cl.Sched.Now(), int(comp))
+	})
+	return a
+}
+
 // ---------------------------------------------------------------------------
 // Job-level faults (Section III-D, IV-B)
 // ---------------------------------------------------------------------------

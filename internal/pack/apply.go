@@ -1,0 +1,104 @@
+package pack
+
+import (
+	"fmt"
+	"strings"
+
+	"decos/internal/component"
+	"decos/internal/faults"
+	"decos/internal/sim"
+	"decos/internal/tt"
+	"decos/internal/vnet"
+)
+
+// ApplyFaults is the manifest's engine.WithFaults hook: it applies the
+// declared faults in order, then the deterministic expansion of every
+// environment profile. It runs after cluster start, so job references
+// resolve against the built topology; validation has already checked
+// them, so lookup failures here are programming errors and panic.
+func (m *Manifest) ApplyFaults(inj *faults.Injector) {
+	for i := range m.Faults {
+		applyFault(inj, &m.Faults[i])
+	}
+	for i := range m.Environment {
+		for _, f := range m.Environment[i].expand(&m.Topology) {
+			applyFault(inj, &f)
+		}
+	}
+}
+
+// resolveJob returns the job instance a "DAS/job" reference names.
+func resolveJob(cl *component.Cluster, ref string) *component.Instance {
+	dasName, jobName, ok := strings.Cut(ref, "/")
+	if !ok {
+		panic(fmt.Sprintf("pack: job reference %q is not DAS/job", ref))
+	}
+	das := cl.DAS(dasName)
+	if das == nil {
+		panic(fmt.Sprintf("pack: unknown DAS %q", dasName))
+	}
+	j := das.JobNamed(jobName)
+	if j == nil {
+		panic(fmt.Sprintf("pack: unknown job %q in DAS %q", jobName, dasName))
+	}
+	return j
+}
+
+// applyFault maps one validated FaultSpec onto its injector primitive.
+func applyFault(inj *faults.Injector, f *FaultSpec) {
+	cl := inj.Cluster()
+	comp := tt.NodeID(f.Component)
+	at := f.At()
+	switch f.Kind {
+	case "emi-burst":
+		x, y := f.X, f.Y
+		if f.Component >= 0 {
+			// Component-targeted burst: epicenter at the component.
+			c := cl.Component(comp)
+			x, y = c.X, c.Y
+		}
+		inj.EMIBurst(at, x, y, f.Radius, f.Duration(), f.Bits)
+	case "seu":
+		inj.SEU(at, comp)
+	case "power-dip":
+		inj.PowerDip(comp, at, f.Duration())
+	case "connector-tx":
+		inj.ConnectorTx(comp, at, f.End(), f.Rate)
+	case "connector-rx":
+		inj.ConnectorRx(comp, at, f.End(), f.Rate)
+	case "wearout":
+		inj.Wearout(comp, faults.WearoutAcceleration{
+			Onset:           at,
+			Tau:             sim.Duration(f.TauMS * float64(sim.Millisecond)),
+			BaseRatePerHour: f.BaseRatePerHour,
+			MaxFactor:       f.MaxFactor,
+		}, f.DriftPerHour)
+	case "intermittent":
+		inj.IntermittentInternal(comp, at, f.RatePerHour, f.End())
+	case "permanent-silent":
+		inj.PermanentFailSilent(comp, at)
+	case "permanent-babbling":
+		inj.PermanentBabbling(comp, at)
+	case "quartz":
+		inj.DefectiveQuartz(comp, at, f.DriftPPM)
+	case "transient-quartz":
+		inj.TransientQuartz(comp, at, f.Duration(), f.DriftPPM)
+	case "misconfig-queue":
+		inj.MisconfigureQueue(resolveJob(cl, f.Job), vnet.ChannelID(f.Channel), f.QueueCap)
+	case "bohrbug":
+		threshold := f.Threshold
+		bad := f.Value
+		inj.Bohrbug(resolveJob(cl, f.Job), vnet.ChannelID(f.Channel),
+			func(v float64, now sim.Time) bool { return now >= at && v > threshold }, bad)
+	case "heisenbug":
+		inj.Heisenbug(resolveJob(cl, f.Job), vnet.ChannelID(f.Channel), f.Rate, f.Value, f.Omit)
+	case "job-crash":
+		inj.JobCrash(resolveJob(cl, f.Job), at)
+	case "sensor-stuck":
+		inj.SensorStuck(resolveJob(cl, f.Job), at, f.Value)
+	case "sensor-drift":
+		inj.SensorDrift(resolveJob(cl, f.Job), at, f.DriftPerHour)
+	default:
+		panic(fmt.Sprintf("pack: no injector primitive for kind %q (validate first)", f.Kind))
+	}
+}

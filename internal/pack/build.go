@@ -1,0 +1,309 @@
+package pack
+
+import (
+	"fmt"
+
+	"decos/internal/component"
+	"decos/internal/diagnosis"
+	"decos/internal/engine"
+	"decos/internal/sim"
+	"decos/internal/tt"
+	"decos/internal/vnet"
+)
+
+// EngineOptions compiles the manifest into the engine option list:
+// topology, seed, clocks, build hook, diagnosis, OBD, and — when the
+// pack declares faults or environment profiles — a fault-manifest hook.
+// Extra options (classifier selection, trace sinks, checkpoint sinks)
+// compose on top. The option sequence matches the hand-written scenario
+// constructors exactly, so a pack run is byte-identical to the
+// equivalent Go-built run under the same seed.
+func (m *Manifest) EngineOptions(extra ...engine.Option) []engine.Option {
+	opts := m.Topology.Options(m.Seed, m.Diagnosis.Options(), nil)
+	if len(m.Faults) > 0 || len(m.Environment) > 0 {
+		opts = append(opts, engine.WithFaults(m.ApplyFaults))
+	}
+	return append(opts, extra...)
+}
+
+// Options compiles a resolved topology into the canonical engine option
+// prefix: schedule geometry, seed, clock ensemble, population hook,
+// diagnosis attachment and the OBD baseline. A nil hook uses the
+// topology's own BuildHook; callers that need job handles (the scenario
+// constructors) pass a wrapper that builds and then binds. This is the
+// single composition point both the manifest loader and the legacy Go
+// constructors go through.
+func (t *Topology) Options(seed uint64, diagOpts diagnosis.Options, hook func(cl *component.Cluster)) []engine.Option {
+	if hook == nil {
+		hook = t.BuildHook()
+	}
+	c := t.Clocks
+	return []engine.Option{
+		engine.WithTopology(t.Nodes, t.SlotLen(), t.SlotBytes),
+		engine.WithSeed(seed),
+		engine.WithClocks(c.MaxDriftPPM, c.JitterUS, c.PrecisionUS, c.Tolerated),
+		engine.WithBuild(hook),
+		engine.WithDiagnosis(tt.NodeID(t.DiagNode), diagOpts),
+		engine.WithOBD(),
+	}
+}
+
+// Fig10Topology returns the resolved topology of the paper's Fig. 10
+// system — what a manifest with kind "fig10" resolves to after
+// validation.
+func Fig10Topology() Topology {
+	return Topology{Kind: "fig10", Nodes: 4, SlotLenUS: 250, SlotBytes: 256, DiagNode: 3, Clocks: DefaultClocks()}
+}
+
+// GridTopology returns the resolved n-component chain topology — what a
+// manifest with kind "grid" resolves to after validation.
+func GridTopology(n int) Topology {
+	return Topology{Kind: "grid", Nodes: n, SlotLenUS: 250, SlotBytes: 160, DiagNode: n - 1, Clocks: DefaultClocks()}
+}
+
+// Engine assembles and starts the pack's cluster. Fault and environment
+// specs are routed through the engine's fault manifest, so checkpoint
+// restores of pack runs reconstruct every injection.
+func (m *Manifest) Engine(extra ...engine.Option) (*engine.Engine, error) {
+	return engine.New(m.EngineOptions(extra...)...)
+}
+
+// Options converts the manifest's diagnosis overrides into
+// diagnosis.Options. Zero-valued fields keep the attachment defaults,
+// exactly like a zero diagnosis.Options in Go.
+func (s *DiagnosisSpec) Options() diagnosis.Options {
+	return diagnosis.Options{
+		EpochRounds:           s.EpochRounds,
+		WindowGranules:        s.WindowGranules,
+		RetainGranules:        s.RetainGranules,
+		ProximityRadius:       s.ProximityRadius,
+		BurstGranules:         s.BurstGranules,
+		MultiBitThreshold:     s.MultiBitThreshold,
+		PermanentWindow:       s.PermanentWindow,
+		PermanentDuty:         s.PermanentDuty,
+		RiseFactor:            s.RiseFactor,
+		AlphaK:                s.AlphaK,
+		AlphaThreshold:        s.AlphaThreshold,
+		MinRecurrentGranules:  s.MinRecurrentGranules,
+		OverflowMin:           s.OverflowMin,
+		JobInternalAssertions: s.JobInternalAssertions,
+	}
+}
+
+// BuildHook returns the topology-population hook for engine.WithBuild.
+// The built-in kinds are the single home of the Fig. 10 and grid
+// wiring — the scenario package's constructors call through here.
+func (t *Topology) BuildHook() func(cl *component.Cluster) {
+	switch t.Kind {
+	case "fig10":
+		return Fig10Build
+	case "grid":
+		return GridBuild(t.Nodes)
+	case "custom":
+		spec := *t
+		return func(cl *component.Cluster) { buildCustom(cl, &spec) }
+	}
+	panic(fmt.Sprintf("pack: no build hook for topology kind %q (validate first)", t.Kind))
+}
+
+// Channel plan of the Fig. 10 system (mirrored by scenario's exported
+// constants; the contract test in scenario pins the two sets equal).
+const (
+	ChSpeed vnet.ChannelID = 1  // DAS A: wheel speed (A1 → A2)
+	ChCmd   vnet.ChannelID = 2  // DAS A: brake command (A2 → A3)
+	ChLoad  vnet.ChannelID = 10 // DAS C: event traffic (C1 → C2)
+	ChS1    vnet.ChannelID = 21 // DAS S: replica 1 pressure
+	ChS2    vnet.ChannelID = 22 // DAS S: replica 2 pressure
+	ChS3    vnet.ChannelID = 23 // DAS S: replica 3 pressure
+	ChVoted vnet.ChannelID = 24 // DAS S: voted pressure
+)
+
+// Fig10Build populates the paper's Fig. 10 topology: three application
+// DASs (two non-safety-critical, one safety-critical TMR triple) over
+// four components. This is the canonical wiring; the scenario package
+// resolves its job handles from the built cluster.
+func Fig10Build(cl *component.Cluster) {
+	c0 := cl.AddComponent(0, "front-left", 0, 0)
+	c1 := cl.AddComponent(1, "front-right", 1, 0)
+	c2 := cl.AddComponent(2, "rear-left", 5, 0)
+	c3 := cl.AddComponent(3, "rear-right", 6, 0)
+
+	cl.Env.DefineSine("wheel.speed", 30, 200*sim.Millisecond, 50)
+	cl.Env.DefineSine("brake.pressure", 20, 300*sim.Millisecond, 50)
+
+	// DAS A (non-safety-critical): wheel-speed pipeline A1 → A2 → A3.
+	dasA := cl.AddDAS("A", component.NonSafetyCritical)
+	nA := cl.AddNetwork(dasA, "A.tt", vnet.TimeTriggered)
+	nA.AddEndpoint(0, 40, 0)
+	nA.AddEndpoint(1, 40, 0)
+	a1 := cl.AddJob(dasA, c0, "A1", 0, &component.SensorJob{
+		Signal: "wheel.speed", Out: ChSpeed,
+		PhysMin: -10, PhysMax: 110, FrozenWindow: 20,
+	})
+	a2 := cl.AddJob(dasA, c1, "A2", 0,
+		&component.ControlJob{In: ChSpeed, Out: ChCmd, Gain: 2, InMin: 0, InMax: 100})
+	a3 := cl.AddJob(dasA, c2, "A3", 0, &component.ActuatorJob{In: ChCmd, Actuator: "brake"})
+	cl.Produce(a1, nA, component.ChannelSpec{
+		Channel: ChSpeed, Name: "wheel.speed", Min: 0, Max: 100,
+		MaxAgeRounds: 3, StuckRounds: 20, Sensor: true,
+	})
+	cl.Produce(a2, nA, component.ChannelSpec{Channel: ChCmd, Name: "brake.cmd", Min: 0, Max: 200, MaxAgeRounds: 3})
+	cl.Subscribe(a2, ChSpeed, 0, true)
+	cl.Subscribe(a3, ChCmd, 4, false)
+
+	// DAS C (non-safety-critical): event-triggered comfort traffic.
+	dasC := cl.AddDAS("C", component.NonSafetyCritical)
+	nC := cl.AddNetwork(dasC, "C.et", vnet.EventTriggered)
+	nC.AddEndpoint(1, 60, 16)
+	c1j := cl.AddJob(dasC, c1, "C1", 1, &component.BurstyJob{Out: ChLoad, MeanPerRound: 2})
+	c2j := cl.AddJob(dasC, c2, "C2", 1, &component.SinkJob{In: ChLoad})
+	cl.Produce(c1j, nC, component.ChannelSpec{Channel: ChLoad, Name: "load", Min: -1e12, Max: 1e12})
+	cl.Subscribe(c2j, ChLoad, 8, false)
+
+	// DAS S (safety-critical): TMR pressure sensing on three components,
+	// voted on a fourth (Fig. 10's S1, S2, S3).
+	dasS := cl.AddDAS("S", component.SafetyCritical)
+	nS := cl.AddNetwork(dasS, "S.tt", vnet.TimeTriggered)
+	nS.AddEndpoint(0, 20, 0)
+	nS.AddEndpoint(2, 20, 0)
+	nS.AddEndpoint(3, 20, 0)
+	nS.AddEndpoint(1, 20, 0)
+	var reps [3]*component.Instance
+	repChans := [3]vnet.ChannelID{ChS1, ChS2, ChS3}
+	repComps := [3]*component.Component{c0, c2, c3}
+	for i := 0; i < 3; i++ {
+		reps[i] = cl.AddJob(dasS, repComps[i], "S"+string(rune('1'+i)), 2,
+			&component.SensorJob{
+				Signal: "brake.pressure", Out: repChans[i],
+				PhysMin: -10, PhysMax: 110, FrozenWindow: 20,
+			})
+		cl.Produce(reps[i], nS, component.ChannelSpec{
+			Channel: repChans[i], Name: "pressure", Min: 0, Max: 100,
+			MaxAgeRounds: 3, StuckRounds: 20, Sensor: true,
+		})
+	}
+	voter := &component.VoterJob{Ins: repChans, Out: ChVoted, Tolerance: 1.0}
+	vj := cl.AddJob(dasS, c1, "V", 2, voter)
+	for _, ch := range repChans {
+		cl.Subscribe(vj, ch, 0, true)
+	}
+	cl.Produce(vj, nS, component.ChannelSpec{Channel: ChVoted, Name: "voted", Min: 0, Max: 100, MaxAgeRounds: 3})
+}
+
+// GridBuild returns the chain-topology population hook for n components:
+// one sensor→consumer DAS per adjacent pair, channel i+1 carrying the
+// i-th sensor's signal.
+func GridBuild(n int) func(cl *component.Cluster) {
+	return func(cl *component.Cluster) {
+		comps := make([]*component.Component, n)
+		for i := 0; i < n; i++ {
+			comps[i] = cl.AddComponent(tt.NodeID(i), fmt.Sprintf("c%d", i), float64(i), 0)
+		}
+		cl.Env.DefineSine("signal", 30, 200*sim.Millisecond, 50)
+
+		for i := 0; i+1 < n; i++ {
+			das := cl.AddDAS(fmt.Sprintf("D%d", i), component.NonSafetyCritical)
+			net := cl.AddNetwork(das, fmt.Sprintf("D%d.tt", i), vnet.TimeTriggered)
+			net.AddEndpoint(tt.NodeID(i), 20, 0)
+			ch := vnet.ChannelID(i + 1)
+			sensor := cl.AddJob(das, comps[i], "sense", 0, &component.SensorJob{
+				Signal: "signal", Out: ch,
+				PhysMin: -10, PhysMax: 110, FrozenWindow: 20,
+			})
+			consumer := cl.AddJob(das, comps[i+1], "consume", 1, component.JobFunc(func(ctx *component.Context) {
+				ctx.Latest(ch)
+			}))
+			cl.Produce(sensor, net, component.ChannelSpec{
+				Channel: ch, Name: "signal", Min: 0, Max: 100,
+				MaxAgeRounds: 3, StuckRounds: 20, Sensor: true,
+			})
+			cl.Subscribe(consumer, ch, 0, true)
+		}
+	}
+}
+
+// buildCustom populates a fully declarative FRU graph: components in
+// manifest order, then signals, then DASs — per DAS its networks with
+// endpoints, then per job AddJob followed by that job's produces and
+// subscribes. The per-job interleaving preserves the relative order of
+// channel declarations and subscriptions, which is what the virtual
+// network fabric's determinism depends on.
+func buildCustom(cl *component.Cluster, t *Topology) {
+	comps := make(map[int]*component.Component, len(t.Components))
+	for _, cs := range t.Components {
+		comps[cs.ID] = cl.AddComponent(tt.NodeID(cs.ID), cs.Name, cs.X, cs.Y)
+	}
+	for _, sg := range t.Signals {
+		cl.Env.DefineSine(sg.Name, sg.Amplitude, sim.Duration(sg.PeriodMS*float64(sim.Millisecond)), sg.Offset)
+	}
+	for _, ds := range t.DASs {
+		crit := component.NonSafetyCritical
+		if ds.Critical {
+			crit = component.SafetyCritical
+		}
+		das := cl.AddDAS(ds.Name, crit)
+		nets := make(map[string]*vnet.Network, len(ds.Networks))
+		for _, ns := range ds.Networks {
+			kind := vnet.TimeTriggered
+			if ns.Kind == "et" {
+				kind = vnet.EventTriggered
+			}
+			net := cl.AddNetwork(das, ns.Name, kind)
+			for _, ep := range ns.Endpoints {
+				net.AddEndpoint(tt.NodeID(ep.Node), ep.AllocBytes, ep.QueueCap)
+			}
+			nets[ns.Name] = net
+		}
+		for _, js := range ds.Jobs {
+			j := cl.AddJob(das, comps[js.Component], js.Name, js.Partition, buildJobImpl(&js))
+			for _, ps := range js.Produce {
+				cl.Produce(j, nets[ps.Network], component.ChannelSpec{
+					Channel:      vnet.ChannelID(ps.Channel),
+					Name:         ps.Name,
+					Min:          ps.Min,
+					Max:          ps.Max,
+					MaxAgeRounds: int64(ps.MaxAgeRounds),
+					StuckRounds:  int64(ps.StuckRounds),
+					Sensor:       ps.Sensor,
+				})
+			}
+			for _, ss := range js.Subscribe {
+				cl.Subscribe(j, vnet.ChannelID(ss.Channel), ss.Capacity, ss.Overwrite)
+			}
+		}
+	}
+}
+
+// buildJobImpl instantiates the job implementation a JobSpec names.
+func buildJobImpl(js *JobSpec) component.Job {
+	switch js.Type {
+	case "sensor":
+		return &component.SensorJob{
+			Signal: js.Signal, Out: vnet.ChannelID(js.Out),
+			PhysMin: js.PhysMin, PhysMax: js.PhysMax, FrozenWindow: js.FrozenWindow,
+		}
+	case "control":
+		return &component.ControlJob{
+			In: vnet.ChannelID(js.In), Out: vnet.ChannelID(js.Out),
+			Gain: js.Gain, InMin: js.InMin, InMax: js.InMax,
+		}
+	case "actuator":
+		return &component.ActuatorJob{In: vnet.ChannelID(js.In), Actuator: js.Actuator}
+	case "bursty":
+		return &component.BurstyJob{Out: vnet.ChannelID(js.Out), MeanPerRound: js.MeanPerRound}
+	case "sink":
+		return &component.SinkJob{In: vnet.ChannelID(js.In)}
+	case "voter":
+		var ins [3]vnet.ChannelID
+		for i := 0; i < 3 && i < len(js.Ins); i++ {
+			ins[i] = vnet.ChannelID(js.Ins[i])
+		}
+		return &component.VoterJob{Ins: ins, Out: vnet.ChannelID(js.Out), Tolerance: js.Tolerance}
+	case "observer":
+		ch := vnet.ChannelID(js.Watch)
+		return component.JobFunc(func(ctx *component.Context) {
+			ctx.Latest(ch)
+		})
+	}
+	panic(fmt.Sprintf("pack: no implementation for job type %q (validate first)", js.Type))
+}

@@ -1,0 +1,274 @@
+package pack
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const minimalTOML = `pack = 1
+name = "minimal"
+seed = 7
+rounds = 100
+
+[topology]
+kind = "fig10"
+`
+
+// The same scenario expressed in both front-end formats. The parsers
+// feed one shared document tree, so the decoded manifests must be
+// field-for-field identical.
+const richTOML = `pack = 1
+name = "rich"
+description = "round-trip fixture"
+seed = 20050404
+rounds = 2000
+
+[topology]
+kind = "fig10"
+
+[diagnosis]
+epoch_rounds = 16
+alpha_k = 3.5
+
+[[faults]]
+kind = "quartz"
+component = 1
+at_ms = 200
+drift_ppm = 90000
+
+[[faults]]
+kind = "sensor-stuck"
+job = "A/A1"
+at_ms = 300
+value = 42.5
+
+[[environment]]
+profile = "vibration"
+from_ms = 400
+to_ms = 900
+period_ms = 250
+intensity = 0.5
+components = [0, 2]
+
+[expect]
+max_false_alarms = 0
+
+[[expect.verdicts]]
+fru = "component[1]"
+class = "component-internal"
+action = "replace-component"
+classifier = "decos"
+`
+
+const richJSON = `{
+  "pack": 1,
+  "name": "rich",
+  "description": "round-trip fixture",
+  "seed": 20050404,
+  "rounds": 2000,
+  "topology": {"kind": "fig10"},
+  "diagnosis": {"epoch_rounds": 16, "alpha_k": 3.5},
+  "faults": [
+    {"kind": "quartz", "component": 1, "at_ms": 200, "drift_ppm": 90000},
+    {"kind": "sensor-stuck", "job": "A/A1", "at_ms": 300, "value": 42.5}
+  ],
+  "environment": [
+    {"profile": "vibration", "from_ms": 400, "to_ms": 900, "period_ms": 250,
+     "intensity": 0.5, "components": [0, 2]}
+  ],
+  "expect": {
+    "max_false_alarms": 0,
+    "verdicts": [
+      {"fru": "component[1]", "class": "component-internal",
+       "action": "replace-component", "classifier": "decos"}
+    ]
+  }
+}`
+
+func TestParseMinimal(t *testing.T) {
+	m, err := Parse([]byte(minimalTOML), "minimal.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "minimal" || m.Seed != 7 || m.Rounds != 100 {
+		t.Fatalf("header fields: %+v", m)
+	}
+	// Validation resolves the fig10 topology to its fixed dimensions.
+	top := m.Topology
+	if top.Nodes != 4 || top.SlotLenUS != 250 || top.SlotBytes != 256 || top.DiagNode != 3 {
+		t.Fatalf("fig10 defaults not resolved: %+v", top)
+	}
+	if top.Clocks != DefaultClocks() {
+		t.Fatalf("clock defaults not resolved: %+v", top.Clocks)
+	}
+	// Expectation defaults: unchecked bounds, DECOS gated at 1.0.
+	e := m.Expect
+	if e.MaxFalseAlarms != -1 || e.MaxNFFRatio != -1 || e.MinScore != 1 || e.MinScoreOBD != 0 {
+		t.Fatalf("expect defaults: %+v", e)
+	}
+}
+
+func TestTOMLAndJSONDecodeIdentically(t *testing.T) {
+	mt, err := Parse([]byte(richTOML), "rich.toml")
+	if err != nil {
+		t.Fatalf("toml: %v", err)
+	}
+	mj, err := Parse([]byte(richJSON), "rich.json")
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	mt.Source, mj.Source = "", ""
+	if !reflect.DeepEqual(mt, mj) {
+		t.Fatalf("formats disagree:\ntoml: %+v\njson: %+v", mt, mj)
+	}
+}
+
+// TestGoConstructedManifestValidates pins that a manifest built in Go
+// (no decoder pass) resolves the same defaults validation gives decoded
+// ones — in particular the clock ensemble.
+func TestGoConstructedManifestValidates(t *testing.T) {
+	// DiagNode -1 means "default" — the decoder's sentinel for an unset
+	// field, resolved by validation to the last grid node.
+	m := &Manifest{Pack: Version, Name: "in-memory", Seed: 1, Rounds: 10,
+		Topology: Topology{Kind: "grid", Nodes: 6, DiagNode: -1}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Topology.Clocks != DefaultClocks() {
+		t.Fatalf("clocks not defaulted: %+v", m.Topology.Clocks)
+	}
+	if m.Topology.DiagNode != 5 {
+		t.Fatalf("grid diag node = %d, want 5", m.Topology.DiagNode)
+	}
+}
+
+// TestParseErrors holds the strict-validation contract: malformed input
+// is rejected with an error naming the source, the offending field path
+// and — for decode-level failures — the source line.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		doc   string
+		wants []string
+	}{
+		{"bad version", "v.toml", "pack = 99\nname = \"x\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n",
+			[]string{"v.toml:", "pack:", "unsupported schema version 99"}},
+		{"missing topology kind", "k.toml", "pack = 1\nname = \"x\"\nrounds = 1\n",
+			[]string{"topology.kind:", "required"}},
+		{"unknown top-level field", "u.toml", "pack = 1\nname = \"x\"\nrounds = 1\nbogus = 3\n[topology]\nkind = \"fig10\"\n",
+			[]string{"u.toml:4:", "bogus", "unknown field"}},
+		{"wrong field type", "t.json", `{"pack": 1, "name": "x", "rounds": "many", "topology": {"kind": "fig10"}}`,
+			[]string{"t.json:1:", "rounds"}},
+		{"bad slug", "s.toml", "pack = 1\nname = \"Not A Slug\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n",
+			[]string{"name:", "slug"}},
+		{"rounds out of range", "r.toml", "pack = 1\nname = \"x\"\nrounds = 0\n[topology]\nkind = \"fig10\"\n",
+			[]string{"rounds:", "must be in [1"}},
+		{"unknown fault kind", "f.toml", "pack = 1\nname = \"x\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n[[faults]]\nkind = \"gremlin\"\n",
+			[]string{"faults[0].kind", "gremlin"}},
+		{"heisenbug rate out of range", "h.toml", "pack = 1\nname = \"x\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n[[faults]]\nkind = \"heisenbug\"\njob = \"A/A1\"\nchannel = 1\nrate = 1.5\n",
+			[]string{"faults[0].rate"}},
+		{"dangling job reference", "j.toml", "pack = 1\nname = \"x\"\nrounds = 100\n[topology]\nkind = \"fig10\"\n[[faults]]\nkind = \"job-crash\"\njob = \"A/Z9\"\nat_ms = 10\n",
+			[]string{"faults[0].job", "A/Z9"}},
+		{"unknown env profile", "e.toml", "pack = 1\nname = \"x\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n[[environment]]\nprofile = \"monsoon\"\nfrom_ms = 1\nto_ms = 2\nperiod_ms = 1\nintensity = 0.5\n",
+			[]string{"environment[0].profile", "monsoon"}},
+		{"unknown campaign kind", "c.toml", "pack = 1\nname = \"x\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n[campaign]\nvehicles = 2\n[campaign.mix]\ngremlin = 1.0\n",
+			[]string{"campaign.mix.gremlin", "unknown campaign fault kind"}},
+		{"campaign with faults", "cf.toml", "pack = 1\nname = \"x\"\nrounds = 100\n[topology]\nkind = \"fig10\"\n[campaign]\nvehicles = 2\n[[faults]]\nkind = \"seu\"\ncomponent = 1\nat_ms = 5\n",
+			[]string{"campaign:", "not allowed"}},
+		{"verdict FRU out of range", "vf.toml", "pack = 1\nname = \"x\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n[expect]\n[[expect.verdicts]]\nfru = \"component[9]\"\nclass = \"component-internal\"\n",
+			[]string{"expect.verdicts[0].fru", "out of range"}},
+		{"verdict class unknown", "vc.toml", "pack = 1\nname = \"x\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n[expect]\n[[expect.verdicts]]\nfru = \"component[1]\"\nclass = \"phase-of-moon\"\n",
+			[]string{"expect.verdicts[0].class"}},
+		{"toml syntax", "x.toml", "pack = = 1\n", []string{"x.toml:1:"}},
+		{"json syntax", "x.json", `{"pack": }`, []string{"x.json:"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc), tc.src)
+			if err == nil {
+				t.Fatal("parse accepted malformed manifest")
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestErrorType pins that load failures surface as *pack.Error so
+// callers can address source/line/field programmatically.
+func TestErrorType(t *testing.T) {
+	_, err := Parse([]byte("pack = 99\nname = \"x\"\nrounds = 1\n[topology]\nkind = \"fig10\"\n"), "e.toml")
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *pack.Error", err)
+	}
+	if pe.Source != "e.toml" || pe.Field != "pack" {
+		t.Fatalf("error fields: %+v", pe)
+	}
+}
+
+// TestEnvironmentExpansionDeterministic pins the contract that keeps
+// packs replayable: an environment profile expands to an arithmetic —
+// not randomized — series of activations, so two expansions of the same
+// profile are identical and bounded by MaxEnvEvents.
+func TestEnvironmentExpansionDeterministic(t *testing.T) {
+	m, err := Parse([]byte(`pack = 1
+name = "env"
+seed = 1
+rounds = 3000
+[topology]
+kind = "fig10"
+[[environment]]
+profile = "thermal-cycling"
+from_ms = 100
+to_ms = 2000
+period_ms = 150
+intensity = 0.7
+`), "env.toml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Environment[0].expand(&m.Topology)
+	b := m.Environment[0].expand(&m.Topology)
+	if len(a) == 0 {
+		t.Fatal("profile expanded to no activations")
+	}
+	if len(a) > MaxEnvEvents {
+		t.Fatalf("%d activations exceed MaxEnvEvents=%d", len(a), MaxEnvEvents)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two expansions of the same profile differ")
+	}
+	for i, f := range a {
+		if !faultKinds[f.Kind] {
+			t.Fatalf("expansion[%d] has unknown kind %q", i, f.Kind)
+		}
+	}
+}
+
+// TestExportedTopologiesValidate pins that the Topology values the
+// scenario constructors build from are exactly what a manifest with the
+// same kind resolves to.
+func TestExportedTopologiesValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		top  Topology
+	}{
+		{"fig10", Fig10Topology()},
+		{"grid", GridTopology(8)},
+	} {
+		m := &Manifest{Pack: Version, Name: tc.name, Seed: 1, Rounds: 10, Topology: tc.top}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(m.Topology, tc.top) {
+			t.Errorf("%s: validation changed the resolved topology:\n got %+v\nwant %+v", tc.name, m.Topology, tc.top)
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package pack
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parseTOML reads a TOML document (the subset scenario packs use) into
+// the shared value tree. Supported: comments, bare and quoted keys,
+// dotted keys, [table] and [[array-of-tables]] headers, basic and
+// literal strings with escapes, integers (decimal, hex, underscores),
+// floats, booleans, single- and multi-line arrays, and inline tables.
+// Unsupported (rejected with a line-addressed error): date-times,
+// multi-line strings, and +/- infinity/nan literals.
+//
+// A hand-written parser keeps the repository dependency-free; strictness
+// matters more than completeness here, so anything outside the subset is
+// an explicit error rather than a silent skip.
+func parseTOML(data []byte, source string) (*value, error) {
+	p := &tomlParser{source: source, root: newObject()}
+	p.lines = strings.Split(string(data), "\n")
+	p.current = p.root
+	for p.lineNo = 1; p.lineNo <= len(p.lines); p.lineNo++ {
+		if err := p.parseLine(); err != nil {
+			return nil, err
+		}
+	}
+	return &value{raw: p.root, line: 1}, nil
+}
+
+type tomlParser struct {
+	source string
+	lines  []string
+	lineNo int // 1-based, the line parseLine is consuming
+
+	root *object
+	// current is the table key/value lines land in ([table] headers
+	// switch it).
+	current *object
+}
+
+func (p *tomlParser) errf(field, format string, args ...any) error {
+	return errf(p.source, p.lineNo, field, format, args...)
+}
+
+// parseLine consumes one logical line: blank, comment, table header or
+// key/value (possibly spanning lines for multi-line arrays).
+func (p *tomlParser) parseLine() error {
+	line := strings.TrimSpace(p.lines[p.lineNo-1])
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	if strings.HasPrefix(line, "[[") {
+		return p.parseArrayHeader(line)
+	}
+	if strings.HasPrefix(line, "[") {
+		return p.parseTableHeader(line)
+	}
+	return p.parseKeyValue(line)
+}
+
+// parseTableHeader handles `[a.b.c]`.
+func (p *tomlParser) parseTableHeader(line string) error {
+	inner, ok := cutHeader(line, "[", "]")
+	if !ok {
+		return p.errf("", "malformed table header %q", line)
+	}
+	path, err := p.parseKeyPath(inner)
+	if err != nil {
+		return err
+	}
+	tbl, err := p.descend(p.root, path)
+	if err != nil {
+		return err
+	}
+	p.current = tbl
+	return nil
+}
+
+// parseArrayHeader handles `[[a.b]]`: appends a fresh table to the
+// array-of-tables at the path and makes it current.
+func (p *tomlParser) parseArrayHeader(line string) error {
+	inner, ok := cutHeader(line, "[[", "]]")
+	if !ok {
+		return p.errf("", "malformed array-of-tables header %q", line)
+	}
+	path, err := p.parseKeyPath(inner)
+	if err != nil {
+		return err
+	}
+	parent, err := p.descend(p.root, path[:len(path)-1])
+	if err != nil {
+		return err
+	}
+	leaf := path[len(path)-1]
+	elem := newObject()
+	if existing, ok := parent.get(leaf); ok {
+		arr, isArr := existing.raw.([]*value)
+		if !isArr {
+			return p.errf(strings.Join(path, "."), "not an array of tables (already defined as %s)", typeName(existing))
+		}
+		existing.raw = append(arr, &value{raw: elem, line: p.lineNo})
+	} else {
+		parent.set(leaf, &value{raw: []*value{{raw: elem, line: p.lineNo}}, line: p.lineNo})
+	}
+	p.current = elem
+	return nil
+}
+
+// cutHeader strips the bracket pair and an optional trailing comment.
+func cutHeader(line, open, close string) (string, bool) {
+	rest := strings.TrimPrefix(line, open)
+	end := strings.Index(rest, close)
+	if end < 0 {
+		return "", false
+	}
+	tail := strings.TrimSpace(rest[end+len(close):])
+	if tail != "" && !strings.HasPrefix(tail, "#") {
+		return "", false
+	}
+	return strings.TrimSpace(rest[:end]), true
+}
+
+// descend walks (creating as needed) nested tables along path. When a
+// path segment holds an array of tables, descent continues in its last
+// element (TOML's [table-array.subtable] rule). Scalars along the path
+// are a hard error — redefinition is never silent.
+func (p *tomlParser) descend(from *object, path []string) (*object, error) {
+	cur := from
+	for i, seg := range path {
+		v, ok := cur.get(seg)
+		if !ok {
+			next := newObject()
+			cur.set(seg, &value{raw: next, line: p.lineNo})
+			cur = next
+			continue
+		}
+		switch raw := v.raw.(type) {
+		case *object:
+			cur = raw
+		case []*value:
+			if len(raw) == 0 {
+				return nil, p.errf(strings.Join(path[:i+1], "."), "cannot extend empty array")
+			}
+			last := raw[len(raw)-1]
+			obj, isObj := last.raw.(*object)
+			if !isObj {
+				return nil, p.errf(strings.Join(path[:i+1], "."), "cannot extend non-table array element")
+			}
+			cur = obj
+		default:
+			return nil, p.errf(strings.Join(path[:i+1], "."), "already defined as %s", typeName(v))
+		}
+	}
+	return cur, nil
+}
+
+// parseKeyPath splits a dotted key, honoring quoted segments.
+func (p *tomlParser) parseKeyPath(s string) ([]string, error) {
+	var path []string
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		var seg string
+		var err error
+		if rest[0] == '"' || rest[0] == '\'' {
+			seg, rest, err = p.scanQuoted(rest)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			end := strings.IndexAny(rest, ".")
+			if end < 0 {
+				seg, rest = rest, ""
+			} else {
+				seg, rest = rest[:end], rest[end:]
+			}
+			seg = strings.TrimSpace(seg)
+			if !isBareKey(seg) {
+				return nil, p.errf("", "invalid key %q", seg)
+			}
+		}
+		path = append(path, seg)
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		if rest[0] != '.' {
+			return nil, p.errf("", "invalid key separator in %q", s)
+		}
+		rest = strings.TrimSpace(rest[1:])
+		if rest == "" {
+			return nil, p.errf("", "key path ends with a dot: %q", s)
+		}
+	}
+	if len(path) == 0 {
+		return nil, p.errf("", "empty key")
+	}
+	return path, nil
+}
+
+func isBareKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// scanQuoted consumes a leading quoted string from s, returning the
+// unescaped content and the remainder.
+func (p *tomlParser) scanQuoted(s string) (content, rest string, err error) {
+	quote := s[0]
+	if len(s) >= 3 && s[1] == quote && s[2] == quote {
+		return "", "", p.errf("", "multi-line strings are not supported")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		if c == quote {
+			return b.String(), s[i+1:], nil
+		}
+		if quote == '"' && c == '\\' {
+			if i+1 >= len(s) {
+				return "", "", p.errf("", "unterminated escape in string")
+			}
+			esc := s[i+1]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u', 'U':
+				n := 4
+				if esc == 'U' {
+					n = 8
+				}
+				if i+2+n > len(s) {
+					return "", "", p.errf("", "truncated unicode escape")
+				}
+				code, perr := strconv.ParseUint(s[i+2:i+2+n], 16, 32)
+				if perr != nil {
+					return "", "", p.errf("", "invalid unicode escape %q", s[i:i+2+n])
+				}
+				b.WriteRune(rune(code))
+				i += n
+			default:
+				return "", "", p.errf("", "unsupported escape \\%c", esc)
+			}
+			i += 2
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", "", p.errf("", "unterminated string")
+}
+
+// parseKeyValue handles `key = value`, descending dotted keys relative
+// to the current table.
+func (p *tomlParser) parseKeyValue(line string) error {
+	eq := p.findEquals(line)
+	if eq < 0 {
+		return p.errf("", "expected key = value, got %q", line)
+	}
+	path, err := p.parseKeyPath(line[:eq])
+	if err != nil {
+		return err
+	}
+	tbl, err := p.descend(p.current, path[:len(path)-1])
+	if err != nil {
+		return err
+	}
+	leaf := path[len(path)-1]
+	if _, dup := tbl.get(leaf); dup {
+		return p.errf(strings.Join(path, "."), "duplicate key")
+	}
+	raw := strings.TrimSpace(line[eq+1:])
+	v, rest, err := p.parseValue(raw)
+	if err != nil {
+		return err
+	}
+	rest = strings.TrimSpace(rest)
+	if rest != "" && !strings.HasPrefix(rest, "#") {
+		return p.errf(strings.Join(path, "."), "trailing content %q after value", rest)
+	}
+	tbl.set(leaf, v)
+	return nil
+}
+
+// findEquals locates the key/value separator outside of quotes.
+func (p *tomlParser) findEquals(line string) int {
+	inQuote := byte(0)
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if inQuote != 0 {
+			if c == '\\' && inQuote == '"' {
+				i++
+			} else if c == inQuote {
+				inQuote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inQuote = c
+		case '=':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseValue consumes one value from the front of s, returning the
+// remainder. Multi-line arrays pull further physical lines from the
+// parser.
+func (p *tomlParser) parseValue(s string) (*value, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, "", p.errf("", "missing value")
+	}
+	line := p.lineNo
+	switch {
+	case s[0] == '"' || s[0] == '\'':
+		content, rest, err := p.scanQuoted(s)
+		if err != nil {
+			return nil, "", err
+		}
+		return &value{raw: content, line: line}, rest, nil
+	case s[0] == '[':
+		return p.parseArray(s[1:])
+	case s[0] == '{':
+		return p.parseInlineTable(s[1:])
+	case strings.HasPrefix(s, "true"):
+		return &value{raw: true, line: line}, s[4:], nil
+	case strings.HasPrefix(s, "false"):
+		return &value{raw: false, line: line}, s[5:], nil
+	}
+	// Number: scan to the first delimiter.
+	end := len(s)
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == ']' || c == '}' || c == '#' || c == ' ' || c == '\t' {
+			end = i
+			break
+		}
+	}
+	tok := s[:end]
+	rest := s[end:]
+	clean := strings.ReplaceAll(tok, "_", "")
+	if i, err := strconv.ParseInt(clean, 0, 64); err == nil && !strings.ContainsAny(clean, ".eEpP") {
+		return &value{raw: i, line: line}, rest, nil
+	}
+	if f, err := strconv.ParseFloat(clean, 64); err == nil {
+		lower := strings.ToLower(clean)
+		if strings.Contains(lower, "inf") || strings.Contains(lower, "nan") {
+			return nil, "", p.errf("", "non-finite numbers are not supported")
+		}
+		return &value{raw: f, line: line}, rest, nil
+	}
+	return nil, "", p.errf("", "invalid value %q", tok)
+}
+
+// parseArray consumes array elements after the opening '[', pulling
+// additional physical lines as needed.
+func (p *tomlParser) parseArray(s string) (*value, string, error) {
+	line := p.lineNo
+	var elems []*value
+	for {
+		s = strings.TrimSpace(s)
+		// Exhausted this physical line (or hit a comment): continue on the
+		// next one — TOML arrays may span lines.
+		for s == "" || strings.HasPrefix(s, "#") {
+			if p.lineNo >= len(p.lines) {
+				return nil, "", p.errf("", "unterminated array")
+			}
+			p.lineNo++
+			s = strings.TrimSpace(p.lines[p.lineNo-1])
+		}
+		if s[0] == ']' {
+			return &value{raw: elems, line: line}, s[1:], nil
+		}
+		elem, rest, err := p.parseValue(s)
+		if err != nil {
+			return nil, "", err
+		}
+		elems = append(elems, elem)
+		s = strings.TrimSpace(rest)
+		for s == "" || strings.HasPrefix(s, "#") {
+			if p.lineNo >= len(p.lines) {
+				return nil, "", p.errf("", "unterminated array")
+			}
+			p.lineNo++
+			s = strings.TrimSpace(p.lines[p.lineNo-1])
+		}
+		switch s[0] {
+		case ',':
+			s = s[1:]
+		case ']':
+			return &value{raw: elems, line: line}, s[1:], nil
+		default:
+			return nil, "", p.errf("", "expected ',' or ']' in array, got %q", s)
+		}
+	}
+}
+
+// parseInlineTable consumes `key = value` pairs after the opening '{'.
+// Inline tables are single-line per the TOML spec.
+func (p *tomlParser) parseInlineTable(s string) (*value, string, error) {
+	line := p.lineNo
+	obj := newObject()
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "}") {
+		return &value{raw: obj, line: line}, s[1:], nil
+	}
+	for {
+		s = strings.TrimSpace(s)
+		eq := p.findEquals(s)
+		if eq < 0 {
+			return nil, "", p.errf("", "expected key = value in inline table, got %q", s)
+		}
+		path, err := p.parseKeyPath(s[:eq])
+		if err != nil {
+			return nil, "", err
+		}
+		if len(path) != 1 {
+			return nil, "", p.errf("", "dotted keys are not supported in inline tables")
+		}
+		if _, dup := obj.get(path[0]); dup {
+			return nil, "", p.errf(path[0], "duplicate key in inline table")
+		}
+		elem, rest, err := p.parseValue(s[eq+1:])
+		if err != nil {
+			return nil, "", err
+		}
+		obj.set(path[0], elem)
+		s = strings.TrimSpace(rest)
+		if s == "" {
+			return nil, "", p.errf("", "unterminated inline table")
+		}
+		switch s[0] {
+		case ',':
+			s = s[1:]
+		case '}':
+			return &value{raw: obj, line: line}, s[1:], nil
+		default:
+			return nil, "", p.errf("", "expected ',' or '}' in inline table, got %q", s)
+		}
+	}
+}

@@ -1,0 +1,702 @@
+package pack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"decos/internal/core"
+)
+
+// Fault kinds a manifest may declare. Each maps onto one injector
+// primitive of internal/faults (applied in apply.go).
+var faultKinds = map[string]bool{
+	"emi-burst":          true,
+	"seu":                true,
+	"power-dip":          true,
+	"connector-tx":       true,
+	"connector-rx":       true,
+	"wearout":            true,
+	"intermittent":       true,
+	"permanent-silent":   true,
+	"permanent-babbling": true,
+	"quartz":             true,
+	"transient-quartz":   true,
+	"misconfig-queue":    true,
+	"bohrbug":            true,
+	"heisenbug":          true,
+	"job-crash":          true,
+	"sensor-stuck":       true,
+	"sensor-drift":       true,
+}
+
+// Environment profiles a manifest may declare (expanded in env.go).
+var envProfiles = map[string]bool{
+	"vibration":         true,
+	"thermal-cycling":   true,
+	"emi-storm":         true,
+	"connector-chatter": true,
+	"power-sags":        true,
+}
+
+// CampaignKinds are the fault-kind names a campaign mix may weight —
+// the string forms of scenario.FaultKind. The scenario package asserts
+// this list matches its own (it imports pack; pack cannot import it).
+var CampaignKinds = []string{
+	"emi", "seu", "connector-tx", "connector-rx", "wearout",
+	"intermittent", "permanent", "quartz", "config", "bohrbug",
+	"heisenbug", "job-crash", "sensor-stuck", "sensor-drift", "power-dip",
+}
+
+var campaignKinds = func() map[string]bool {
+	m := make(map[string]bool, len(CampaignKinds))
+	for _, k := range CampaignKinds {
+		m[k] = true
+	}
+	return m
+}()
+
+// topologyInfo is the validator's view of the resolved topology: which
+// components exist and which DAS/job pairs faults may target.
+type topologyInfo struct {
+	nodes int
+	// jobs maps "DAS/job" → hosting component.
+	jobs map[string]int
+	// signals defined by the topology (sensor jobs must reference one).
+	signals map[string]bool
+}
+
+// Validate checks the manifest's semantic rules — topology shape, fault
+// parameter ranges, dangling FRU/job references, expectation classes —
+// and fills topology defaults (slot spec, diagnosis node). Parse and
+// Load call it; manifests constructed in Go can call it directly.
+func (m *Manifest) Validate() error {
+	v := &validator{m: m}
+	v.run()
+	return v.err
+}
+
+type validator struct {
+	m   *Manifest
+	err error
+}
+
+func (v *validator) failf(field, format string, args ...any) {
+	if v.err == nil {
+		v.err = errf(v.m.Source, 0, field, format, args...)
+	}
+}
+
+func (v *validator) run() {
+	m := v.m
+	if m.Pack != Version {
+		v.failf("pack", "unsupported schema version %d (this build reads version %d)", m.Pack, Version)
+		return
+	}
+	if m.Name == "" {
+		v.failf("name", "required")
+	} else if !isSlug(m.Name) {
+		v.failf("name", "must be a lowercase slug (a-z, 0-9, '-'), got %q", m.Name)
+	}
+	if m.Rounds < 1 || m.Rounds > MaxRounds {
+		v.failf("rounds", "must be in [1, %d], got %d", MaxRounds, m.Rounds)
+	}
+	info := v.topology()
+	if v.err != nil {
+		return
+	}
+	v.faults(info)
+	v.environment(info)
+	v.campaign()
+	v.expect(info)
+}
+
+func isSlug(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+		default:
+			return false
+		}
+	}
+	return s != "" && s[0] != '-' && s[len(s)-1] != '-'
+}
+
+// topology validates the topology section, fills its defaults and
+// returns the resolved info for cross-reference checks.
+func (v *validator) topology() *topologyInfo {
+	t := &v.m.Topology
+	if t.Clocks == (ClockSpec{}) {
+		// Go-constructed manifests leave the ensemble zeroed; the decoder
+		// fills it, but validation must too so both paths resolve alike.
+		t.Clocks = DefaultClocks()
+	}
+	switch t.Kind {
+	case "fig10":
+		return v.fig10Topology(t)
+	case "grid":
+		return v.gridTopology(t)
+	case "custom":
+		return v.customTopology(t)
+	case "":
+		v.failf("topology.kind", "required (one of fig10, grid, custom)")
+	default:
+		v.failf("topology.kind", "unknown kind %q (one of fig10, grid, custom)", t.Kind)
+	}
+	return nil
+}
+
+func (v *validator) fig10Topology(t *Topology) *topologyInfo {
+	if t.Nodes != 0 && t.Nodes != 4 {
+		v.failf("topology.nodes", "fig10 is a 4-component system, got %d", t.Nodes)
+	}
+	t.Nodes = 4
+	defaultSlot(t, 250, 256)
+	if t.DiagNode < 0 {
+		t.DiagNode = 3
+	}
+	if t.DiagNode >= t.Nodes {
+		v.failf("topology.diag_node", "must be < %d, got %d", t.Nodes, t.DiagNode)
+	}
+	if len(t.Components) > 0 || len(t.Signals) > 0 || len(t.DASs) > 0 {
+		v.failf("topology", "components/signals/dass are only valid for kind \"custom\"")
+	}
+	return &topologyInfo{
+		nodes: 4,
+		jobs: map[string]int{
+			"A/A1": 0, "A/A2": 1, "A/A3": 2,
+			"C/C1": 1, "C/C2": 2,
+			"S/S1": 0, "S/S2": 2, "S/S3": 3, "S/V": 1,
+		},
+		signals: map[string]bool{"wheel.speed": true, "brake.pressure": true},
+	}
+}
+
+func (v *validator) gridTopology(t *Topology) *topologyInfo {
+	if t.Nodes < 3 {
+		v.failf("topology.nodes", "grid needs at least 3 components, got %d", t.Nodes)
+		return nil
+	}
+	if t.Nodes > MaxNodes {
+		v.failf("topology.nodes", "must be ≤ %d, got %d", MaxNodes, t.Nodes)
+		return nil
+	}
+	defaultSlot(t, 250, 160)
+	if t.DiagNode < 0 {
+		t.DiagNode = t.Nodes - 1
+	}
+	if t.DiagNode >= t.Nodes {
+		v.failf("topology.diag_node", "must be < %d, got %d", t.Nodes, t.DiagNode)
+	}
+	if len(t.Components) > 0 || len(t.Signals) > 0 || len(t.DASs) > 0 {
+		v.failf("topology", "components/signals/dass are only valid for kind \"custom\"")
+	}
+	info := &topologyInfo{nodes: t.Nodes, jobs: map[string]int{}, signals: map[string]bool{"signal": true}}
+	for i := 0; i+1 < t.Nodes; i++ {
+		info.jobs[fmt.Sprintf("D%d/sense", i)] = i
+		info.jobs[fmt.Sprintf("D%d/consume", i)] = i + 1
+	}
+	return info
+}
+
+func (v *validator) customTopology(t *Topology) *topologyInfo {
+	if len(t.Components) == 0 {
+		v.failf("topology.components", "custom topology requires at least one component")
+		return nil
+	}
+	if len(t.Components) > MaxNodes {
+		v.failf("topology.components", "must be ≤ %d components, got %d", MaxNodes, len(t.Components))
+		return nil
+	}
+	maxID := 0
+	seen := map[int]bool{}
+	for i, c := range t.Components {
+		field := fmt.Sprintf("topology.components[%d]", i)
+		if c.ID < 0 {
+			v.failf(field+".id", "required (non-negative component id)")
+			return nil
+		}
+		if c.Name == "" {
+			v.failf(field+".name", "required")
+		}
+		if seen[c.ID] {
+			v.failf(field+".id", "duplicate component id %d", c.ID)
+		}
+		seen[c.ID] = true
+		if c.ID > maxID {
+			maxID = c.ID
+		}
+	}
+	if t.Nodes == 0 {
+		t.Nodes = maxID + 1
+	}
+	if t.Nodes < maxID+1 {
+		v.failf("topology.nodes", "must cover component ids (max id %d, nodes %d)", maxID, t.Nodes)
+	}
+	for id := 0; id < t.Nodes; id++ {
+		if !seen[id] {
+			v.failf("topology.components", "component ids must be dense 0..%d (missing %d: the TDMA schedule assigns one slot per node)", t.Nodes-1, id)
+			break
+		}
+	}
+	defaultSlot(t, 250, 256)
+	if t.DiagNode < 0 {
+		t.DiagNode = t.Nodes - 1
+	}
+	if t.DiagNode >= t.Nodes {
+		v.failf("topology.diag_node", "must be < %d, got %d", t.Nodes, t.DiagNode)
+	}
+
+	info := &topologyInfo{nodes: t.Nodes, jobs: map[string]int{}, signals: map[string]bool{}}
+	for i, s := range t.Signals {
+		field := fmt.Sprintf("topology.signals[%d]", i)
+		if s.Name == "" {
+			v.failf(field+".name", "required")
+		}
+		if s.PeriodMS <= 0 {
+			v.failf(field+".period_ms", "must be > 0, got %g", s.PeriodMS)
+		}
+		info.signals[s.Name] = true
+	}
+	if len(t.DASs) == 0 {
+		v.failf("topology.dass", "custom topology requires at least one DAS")
+		return info
+	}
+	dasNames := map[string]bool{}
+	for di, das := range t.DASs {
+		v.customDAS(di, das, info, dasNames)
+	}
+	return info
+}
+
+// customDAS validates one DAS of a custom topology and registers its
+// jobs into info.
+func (v *validator) customDAS(di int, das DASSpec, info *topologyInfo, dasNames map[string]bool) {
+	field := fmt.Sprintf("topology.dass[%d]", di)
+	if das.Name == "" {
+		v.failf(field+".name", "required")
+		return
+	}
+	if strings.ContainsAny(das.Name, "/@[]") {
+		v.failf(field+".name", "must not contain '/', '@' or brackets (FRU syntax), got %q", das.Name)
+	}
+	if dasNames[das.Name] {
+		v.failf(field+".name", "duplicate DAS %q", das.Name)
+	}
+	dasNames[das.Name] = true
+
+	nets := map[string]string{} // name → kind
+	for ni, net := range das.Networks {
+		nf := fmt.Sprintf("%s.networks[%d]", field, ni)
+		if net.Name == "" {
+			v.failf(nf+".name", "required")
+			continue
+		}
+		if net.Kind != "tt" && net.Kind != "et" {
+			v.failf(nf+".kind", "must be \"tt\" or \"et\", got %q", net.Kind)
+		}
+		if _, dup := nets[net.Name]; dup {
+			v.failf(nf+".name", "duplicate network %q", net.Name)
+		}
+		nets[net.Name] = net.Kind
+		if len(net.Endpoints) == 0 {
+			v.failf(nf+".endpoints", "network needs at least one endpoint")
+		}
+		for ei, ep := range net.Endpoints {
+			ef := fmt.Sprintf("%s.endpoints[%d]", nf, ei)
+			if ep.Node < 0 || ep.Node >= info.nodes {
+				v.failf(ef+".node", "must be in [0, %d), got %d", info.nodes, ep.Node)
+			}
+			if ep.AllocBytes <= 0 {
+				v.failf(ef+".alloc_bytes", "must be > 0, got %d", ep.AllocBytes)
+			}
+			if net.Kind == "et" && ep.QueueCap <= 0 {
+				v.failf(ef+".queue_cap", "event-triggered endpoints need a send-queue capacity")
+			}
+		}
+	}
+	if len(das.Jobs) == 0 {
+		v.failf(field+".jobs", "DAS needs at least one job")
+	}
+	for ji, job := range das.Jobs {
+		v.customJob(field, das.Name, ji, job, info, nets)
+	}
+}
+
+func (v *validator) customJob(dasField, dasName string, ji int, job JobSpec, info *topologyInfo, nets map[string]string) {
+	field := fmt.Sprintf("%s.jobs[%d]", dasField, ji)
+	if job.Name == "" {
+		v.failf(field+".name", "required")
+		return
+	}
+	if strings.ContainsAny(job.Name, "/@[]") {
+		v.failf(field+".name", "must not contain '/', '@' or brackets (FRU syntax), got %q", job.Name)
+	}
+	if job.Component < 0 || job.Component >= info.nodes {
+		v.failf(field+".component", "must be in [0, %d), got %d", info.nodes, job.Component)
+	}
+	if job.Partition < 0 {
+		v.failf(field+".partition", "must be ≥ 0, got %d", job.Partition)
+	}
+	ref := dasName + "/" + job.Name
+	if _, dup := info.jobs[ref]; dup {
+		v.failf(field+".name", "duplicate job %q in DAS %q", job.Name, dasName)
+	}
+	info.jobs[ref] = job.Component
+
+	switch job.Type {
+	case "sensor":
+		if !info.signals[job.Signal] {
+			v.failf(field+".signal", "unknown signal %q (declare it in topology.signals)", job.Signal)
+		}
+		if job.Out <= 0 {
+			v.failf(field+".out", "sensor needs an output channel > 0")
+		}
+	case "control":
+		if job.In <= 0 || job.Out <= 0 {
+			v.failf(field, "control needs in and out channels > 0")
+		}
+	case "actuator":
+		if job.In <= 0 {
+			v.failf(field+".in", "actuator needs an input channel > 0")
+		}
+		if job.Actuator == "" {
+			v.failf(field+".actuator", "required")
+		}
+	case "bursty":
+		if job.Out <= 0 {
+			v.failf(field+".out", "bursty needs an output channel > 0")
+		}
+		if job.MeanPerRound <= 0 {
+			v.failf(field+".mean_per_round", "must be > 0, got %g", job.MeanPerRound)
+		}
+	case "sink":
+		if job.In <= 0 {
+			v.failf(field+".in", "sink needs an input channel > 0")
+		}
+	case "voter":
+		if len(job.Ins) != 3 {
+			v.failf(field+".ins", "voter needs exactly 3 input channels, got %d", len(job.Ins))
+		}
+		if job.Out <= 0 {
+			v.failf(field+".out", "voter needs an output channel > 0")
+		}
+	case "observer":
+		if job.Watch <= 0 {
+			v.failf(field+".watch", "observer needs a channel > 0 to watch")
+		}
+	case "":
+		v.failf(field+".type", "required (sensor, control, actuator, bursty, sink, voter, observer)")
+	default:
+		v.failf(field+".type", "unknown type %q (sensor, control, actuator, bursty, sink, voter, observer)", job.Type)
+	}
+
+	for pi, p := range job.Produce {
+		pf := fmt.Sprintf("%s.produce[%d]", field, pi)
+		if _, ok := nets[p.Network]; !ok {
+			v.failf(pf+".network", "unknown network %q in DAS %q", p.Network, dasName)
+		}
+		if p.Channel <= 0 {
+			v.failf(pf+".channel", "must be > 0, got %d", p.Channel)
+		}
+		if p.Name == "" {
+			v.failf(pf+".name", "required")
+		}
+		if p.Min >= p.Max {
+			v.failf(pf, "min %g must be < max %g", p.Min, p.Max)
+		}
+	}
+	for si, s := range job.Subscribe {
+		sf := fmt.Sprintf("%s.subscribe[%d]", field, si)
+		if s.Channel <= 0 {
+			v.failf(sf+".channel", "must be > 0, got %d", s.Channel)
+		}
+		if s.Capacity < 0 {
+			v.failf(sf+".capacity", "must be ≥ 0, got %d", s.Capacity)
+		}
+	}
+}
+
+func defaultSlot(t *Topology, slotUS int64, slotBytes int) {
+	if t.SlotLenUS < 1 {
+		t.SlotLenUS = slotUS
+	}
+	if t.SlotBytes < 1 {
+		t.SlotBytes = slotBytes
+	}
+}
+
+// faults validates every fault spec against the resolved topology.
+func (v *validator) faults(info *topologyInfo) {
+	if len(v.m.Faults) > MaxFaults {
+		v.failf("faults", "too many faults (%d > %d)", len(v.m.Faults), MaxFaults)
+		return
+	}
+	horizonMS := float64(v.m.Horizon()) / 1000
+	for i, f := range v.m.Faults {
+		field := fmt.Sprintf("faults[%d]", i)
+		if !faultKinds[f.Kind] {
+			v.failf(field+".kind", "unknown kind %q (known: %s)", f.Kind, strings.Join(sortedKindNames(faultKinds), ", "))
+			return
+		}
+		if f.AtMS < 0 {
+			v.failf(field+".at_ms", "must be ≥ 0, got %g", f.AtMS)
+		}
+		if f.AtMS > horizonMS {
+			v.failf(field+".at_ms", "activation at %gms is past the run horizon (%gms = rounds × round length)", f.AtMS, horizonMS)
+		}
+		if f.EndMS != 0 && f.EndMS <= f.AtMS {
+			v.failf(field+".end_ms", "must be after at_ms (%g ≤ %g)", f.EndMS, f.AtMS)
+		}
+		if f.DurationMS < 0 {
+			v.failf(field+".duration_ms", "must be ≥ 0, got %g", f.DurationMS)
+		}
+		v.faultKind(field, i, &v.m.Faults[i], info)
+	}
+}
+
+// faultKind enforces the per-kind parameter requirements.
+func (v *validator) faultKind(field string, i int, f *FaultSpec, info *topologyInfo) {
+	needComp := func() {
+		if f.Component < 0 || f.Component >= info.nodes {
+			v.failf(field+".component", "kind %q targets a component: must be in [0, %d), got %d", f.Kind, info.nodes, f.Component)
+		}
+	}
+	needJob := func() {
+		if f.Job == "" {
+			v.failf(field+".job", "kind %q targets a job (\"DAS/job\")", f.Kind)
+			return
+		}
+		if _, ok := info.jobs[f.Job]; !ok {
+			v.failf(field+".job", "unknown job %q (topology defines: %s)", f.Job, strings.Join(sortedJobRefs(info.jobs), ", "))
+		}
+	}
+	needRate01 := func(key string, rate float64) {
+		if rate <= 0 || rate > 1 {
+			v.failf(field+"."+key, "must be in (0, 1], got %g", rate)
+		}
+	}
+	switch f.Kind {
+	case "emi-burst":
+		if f.Radius <= 0 {
+			v.failf(field+".radius", "must be > 0, got %g", f.Radius)
+		}
+		if f.Bits < 1 {
+			v.failf(field+".bits", "must be ≥ 1, got %d", f.Bits)
+		}
+	case "seu", "power-dip", "permanent-silent", "permanent-babbling":
+		needComp()
+	case "connector-tx", "connector-rx":
+		needComp()
+		needRate01("rate", f.Rate)
+	case "wearout":
+		needComp()
+		if f.TauMS <= 0 {
+			v.failf(field+".tau_ms", "must be > 0, got %g", f.TauMS)
+		}
+		if f.BaseRatePerHour <= 0 {
+			v.failf(field+".base_rate_per_hour", "must be > 0, got %g", f.BaseRatePerHour)
+		}
+		if f.MaxFactor < 1 {
+			v.failf(field+".max_factor", "must be ≥ 1, got %g", f.MaxFactor)
+		}
+	case "intermittent":
+		needComp()
+		if f.RatePerHour <= 0 {
+			v.failf(field+".rate_per_hour", "must be > 0, got %g", f.RatePerHour)
+		}
+	case "quartz":
+		needComp()
+		if f.DriftPPM == 0 {
+			v.failf(field+".drift_ppm", "required (non-zero oscillator drift)")
+		}
+	case "transient-quartz":
+		needComp()
+		if f.DriftPPM == 0 {
+			v.failf(field+".drift_ppm", "required (non-zero oscillator drift)")
+		}
+		if f.DurationMS <= 0 {
+			v.failf(field+".duration_ms", "transient quartz drift needs a window, got %g", f.DurationMS)
+		}
+	case "misconfig-queue":
+		needJob()
+		if f.Channel <= 0 {
+			v.failf(field+".channel", "must be > 0, got %d", f.Channel)
+		}
+		if f.QueueCap < 1 {
+			v.failf(field+".queue_cap", "must be ≥ 1, got %d", f.QueueCap)
+		}
+	case "bohrbug":
+		needJob()
+		if f.Channel <= 0 {
+			v.failf(field+".channel", "must be > 0, got %d", f.Channel)
+		}
+	case "heisenbug":
+		needJob()
+		if f.Channel <= 0 {
+			v.failf(field+".channel", "must be > 0, got %d", f.Channel)
+		}
+		needRate01("rate", f.Rate)
+	case "job-crash":
+		needJob()
+	case "sensor-stuck":
+		needJob()
+	case "sensor-drift":
+		needJob()
+		if f.DriftPerHour == 0 {
+			v.failf(field+".drift_per_hour", "required (non-zero drift)")
+		}
+	}
+	_ = i
+}
+
+func (v *validator) environment(info *topologyInfo) {
+	if len(v.m.Environment) > MaxEnvProfiles {
+		v.failf("environment", "too many profiles (%d > %d)", len(v.m.Environment), MaxEnvProfiles)
+		return
+	}
+	horizonMS := float64(v.m.Horizon()) / 1000
+	for i, e := range v.m.Environment {
+		field := fmt.Sprintf("environment[%d]", i)
+		if !envProfiles[e.Profile] {
+			v.failf(field+".profile", "unknown profile %q (known: %s)", e.Profile, strings.Join(sortedKindNames(envProfiles), ", "))
+			return
+		}
+		if e.FromMS < 0 {
+			v.failf(field+".from_ms", "must be ≥ 0, got %g", e.FromMS)
+		}
+		if e.ToMS <= e.FromMS {
+			v.failf(field+".to_ms", "must be after from_ms (%g ≤ %g)", e.ToMS, e.FromMS)
+		}
+		if e.ToMS > horizonMS {
+			v.failf(field+".to_ms", "window ends at %gms, past the run horizon (%gms)", e.ToMS, horizonMS)
+		}
+		if e.PeriodMS <= 0 {
+			v.failf(field+".period_ms", "must be > 0, got %g", e.PeriodMS)
+		}
+		if e.Intensity <= 0 || e.Intensity > 1 {
+			v.failf(field+".intensity", "must be in (0, 1], got %g", e.Intensity)
+		}
+		events := (e.ToMS - e.FromMS) / e.PeriodMS
+		if events > MaxEnvEvents {
+			v.failf(field+".period_ms", "profile expands to %.0f events (> %d): raise period_ms or shrink the window", events, MaxEnvEvents)
+		}
+		for j, c := range e.Components {
+			if c < 0 || c >= info.nodes {
+				v.failf(fmt.Sprintf("%s.components[%d]", field, j), "must be in [0, %d), got %d", info.nodes, c)
+			}
+		}
+	}
+}
+
+func (v *validator) campaign() {
+	c := v.m.Campaign
+	if c == nil {
+		return
+	}
+	if v.m.Topology.Kind != "fig10" {
+		v.failf("campaign", "campaigns run over the fig10 topology, got %q", v.m.Topology.Kind)
+	}
+	if len(v.m.Faults) > 0 || len(v.m.Environment) > 0 {
+		v.failf("campaign", "campaign packs draw faults from the mix; faults/environment sections are not allowed")
+	}
+	if c.Vehicles < 1 {
+		v.failf("campaign.vehicles", "must be ≥ 1, got %d", c.Vehicles)
+	}
+	if c.FaultFreeShare < 0 || c.FaultFreeShare > 1 {
+		v.failf("campaign.fault_free_share", "must be in [0, 1], got %g", c.FaultFreeShare)
+	}
+	if c.FaultsPerVehicle < 0 {
+		v.failf("campaign.faults_per_vehicle", "must be ≥ 0, got %d", c.FaultsPerVehicle)
+	}
+	for kind, w := range c.Mix {
+		if !campaignKinds[kind] {
+			v.failf("campaign.mix."+kind, "unknown campaign fault kind (known: %s)", strings.Join(CampaignKinds, ", "))
+			return
+		}
+		if w < 0 {
+			v.failf("campaign.mix."+kind, "weight must be ≥ 0, got %g", w)
+		}
+	}
+}
+
+func (v *validator) expect(info *topologyInfo) {
+	e := &v.m.Expect
+	if e.MinScore < 0 || e.MinScore > 1 {
+		v.failf("expect.min_score", "must be in [0, 1], got %g", e.MinScore)
+	}
+	if e.MinScoreOBD < 0 || e.MinScoreOBD > 1 {
+		v.failf("expect.min_score_obd", "must be in [0, 1], got %g", e.MinScoreOBD)
+	}
+	if e.MinClassAccuracy < 0 || e.MinClassAccuracy > 1 {
+		v.failf("expect.min_class_accuracy", "must be in [0, 1], got %g", e.MinClassAccuracy)
+	}
+	if e.Healthy && len(e.Verdicts) > 0 {
+		v.failf("expect.healthy", "healthy packs cannot also expect verdicts")
+	}
+	if v.m.Campaign != nil && (e.Healthy || len(e.Verdicts) > 0) {
+		v.failf("expect", "campaign packs score fleet aggregates (min_class_accuracy, max_nff_ratio, decos_beats_obd), not per-FRU verdicts")
+	}
+	for i, ve := range e.Verdicts {
+		field := fmt.Sprintf("expect.verdicts[%d]", i)
+		fru, err := core.ParseFRU(ve.FRU)
+		if err != nil {
+			v.failf(field+".fru", "%v", err)
+			continue
+		}
+		if fru.IsHardware() {
+			if fru.Component < 0 || fru.Component >= info.nodes {
+				v.failf(field+".fru", "component %d out of range [0, %d)", fru.Component, info.nodes)
+			}
+		} else {
+			ref := jobRefOf(ve.FRU)
+			if _, ok := info.jobs[ref]; !ok {
+				v.failf(field+".fru", "unknown job FRU %q (topology defines: %s)", ve.FRU, strings.Join(sortedJobRefs(info.jobs), ", "))
+			}
+		}
+		if ve.Class == "" {
+			v.failf(field+".class", "required")
+		} else if _, err := core.ParseFaultClass(ve.Class); err != nil {
+			v.failf(field+".class", "%v", err)
+		}
+		if ve.Action != "" {
+			if _, err := core.ParseMaintenanceAction(ve.Action); err != nil {
+				v.failf(field+".action", "%v", err)
+			}
+		}
+		switch ve.Classifier {
+		case "", "decos", "obd":
+		default:
+			v.failf(field+".classifier", "must be \"decos\", \"obd\" or empty (both), got %q", ve.Classifier)
+		}
+	}
+}
+
+// jobRefOf converts a job FRU string "job[das/job@3]" into the "das/job"
+// reference the topology info indexes.
+func jobRefOf(fruStr string) string {
+	s := strings.TrimPrefix(fruStr, "job[")
+	s = strings.TrimSuffix(s, "]")
+	if at := strings.LastIndex(s, "@"); at >= 0 {
+		s = s[:at]
+	}
+	return s
+}
+
+func sortedKindNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedJobRefs(jobs map[string]int) []string {
+	out := make([]string, 0, len(jobs))
+	for k := range jobs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

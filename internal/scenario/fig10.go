@@ -15,20 +15,22 @@ import (
 	"decos/internal/diagnosis"
 	"decos/internal/engine"
 	"decos/internal/faults"
+	"decos/internal/pack"
 	"decos/internal/sim"
 	"decos/internal/tt"
-	"decos/internal/vnet"
 )
 
-// Channel plan of the Fig. 10 system.
+// Channel plan of the Fig. 10 system. The wiring itself lives in the
+// pack package (the declarative manifest layer); these aliases keep the
+// scenario API stable.
 const (
-	ChSpeed vnet.ChannelID = 1  // DAS A: wheel speed (A1 → A2)
-	ChCmd   vnet.ChannelID = 2  // DAS A: brake command (A2 → A3)
-	ChLoad  vnet.ChannelID = 10 // DAS C: event traffic (C1 → C2)
-	ChS1    vnet.ChannelID = 21 // DAS S: replica 1 pressure
-	ChS2    vnet.ChannelID = 22 // DAS S: replica 2 pressure
-	ChS3    vnet.ChannelID = 23 // DAS S: replica 3 pressure
-	ChVoted vnet.ChannelID = 24 // DAS S: voted pressure
+	ChSpeed = pack.ChSpeed // DAS A: wheel speed (A1 → A2)
+	ChCmd   = pack.ChCmd   // DAS A: brake command (A2 → A3)
+	ChLoad  = pack.ChLoad  // DAS C: event traffic (C1 → C2)
+	ChS1    = pack.ChS1    // DAS S: replica 1 pressure
+	ChS2    = pack.ChS2    // DAS S: replica 2 pressure
+	ChS3    = pack.ChS3    // DAS S: replica 3 pressure
+	ChVoted = pack.ChVoted // DAS S: voted pressure
 )
 
 // System is one fully assembled Fig. 10 cluster with diagnostics, the OBD
@@ -123,14 +125,8 @@ func (sys *System) assemble(seed uint64, opts diagnosis.Options, extra []engine.
 }
 
 func (sys *System) assembleE(seed uint64, opts diagnosis.Options, extra []engine.Option) (*System, error) {
-	eopts := append([]engine.Option{
-		engine.WithTopology(4, 250*sim.Microsecond, 256),
-		engine.WithSeed(seed),
-		engine.WithClocks(50, 0, 20, 1),
-		engine.WithBuild(sys.buildFig10),
-		engine.WithDiagnosis(DiagNode, opts),
-		engine.WithOBD(),
-	}, extra...)
+	t := pack.Fig10Topology()
+	eopts := append(t.Options(seed, opts, sys.buildFig10), extra...)
 	eng, err := engine.New(eopts...)
 	if err != nil {
 		return nil, err
@@ -143,80 +139,23 @@ func (sys *System) assembleE(seed uint64, opts diagnosis.Options, extra []engine
 	return sys, nil
 }
 
-// buildFig10 populates the Fig. 10 topology: three application DASs (two
-// non-safety-critical, one safety-critical TMR triple) over four
-// components.
+// buildFig10 populates the Fig. 10 topology through the pack layer's
+// canonical wiring, then binds the System's job handles from the built
+// cluster.
 func (s *System) buildFig10(cl *component.Cluster) {
-	c0 := cl.AddComponent(0, "front-left", 0, 0)
-	c1 := cl.AddComponent(1, "front-right", 1, 0)
-	c2 := cl.AddComponent(2, "rear-left", 5, 0)
-	c3 := cl.AddComponent(3, "rear-right", 6, 0)
+	pack.Fig10Build(cl)
 
-	cl.Env.DefineSine("wheel.speed", 30, 200*sim.Millisecond, 50)
-	cl.Env.DefineSine("brake.pressure", 20, 300*sim.Millisecond, 50)
-
-	// DAS A (non-safety-critical): wheel-speed pipeline A1 → A2 → A3.
-	dasA := cl.AddDAS("A", component.NonSafetyCritical)
-	nA := cl.AddNetwork(dasA, "A.tt", vnet.TimeTriggered)
-	nA.AddEndpoint(0, 40, 0)
-	nA.AddEndpoint(1, 40, 0)
-	a1 := cl.AddJob(dasA, c0, "A1", 0, &component.SensorJob{
-		Signal: "wheel.speed", Out: ChSpeed,
-		PhysMin: -10, PhysMax: 110, FrozenWindow: 20,
-	})
-	a2 := cl.AddJob(dasA, c1, "A2", 0,
-		&component.ControlJob{In: ChSpeed, Out: ChCmd, Gain: 2, InMin: 0, InMax: 100})
-	a3 := cl.AddJob(dasA, c2, "A3", 0, &component.ActuatorJob{In: ChCmd, Actuator: "brake"})
-	cl.Produce(a1, nA, component.ChannelSpec{
-		Channel: ChSpeed, Name: "wheel.speed", Min: 0, Max: 100,
-		MaxAgeRounds: 3, StuckRounds: 20, Sensor: true,
-	})
-	cl.Produce(a2, nA, component.ChannelSpec{Channel: ChCmd, Name: "brake.cmd", Min: 0, Max: 200, MaxAgeRounds: 3})
-	cl.Subscribe(a2, ChSpeed, 0, true)
-	cl.Subscribe(a3, ChCmd, 4, false)
-
-	// DAS C (non-safety-critical): event-triggered comfort traffic.
-	dasC := cl.AddDAS("C", component.NonSafetyCritical)
-	nC := cl.AddNetwork(dasC, "C.et", vnet.EventTriggered)
-	nC.AddEndpoint(1, 60, 16)
-	c1j := cl.AddJob(dasC, c1, "C1", 1, &component.BurstyJob{Out: ChLoad, MeanPerRound: 2})
-	c2j := cl.AddJob(dasC, c2, "C2", 1, &component.SinkJob{In: ChLoad})
-	cl.Produce(c1j, nC, component.ChannelSpec{Channel: ChLoad, Name: "load", Min: -1e12, Max: 1e12})
-	cl.Subscribe(c2j, ChLoad, 8, false)
-
-	// DAS S (safety-critical): TMR pressure sensing on three components,
-	// voted on a fourth (Fig. 10's S1, S2, S3).
-	dasS := cl.AddDAS("S", component.SafetyCritical)
-	nS := cl.AddNetwork(dasS, "S.tt", vnet.TimeTriggered)
-	nS.AddEndpoint(0, 20, 0)
-	nS.AddEndpoint(2, 20, 0)
-	nS.AddEndpoint(3, 20, 0)
-	nS.AddEndpoint(1, 20, 0)
-	var reps [3]*component.Instance
-	repChans := [3]vnet.ChannelID{ChS1, ChS2, ChS3}
-	repComps := [3]*component.Component{c0, c2, c3}
+	dasA, dasC, dasS := cl.DAS("A"), cl.DAS("C"), cl.DAS("S")
+	s.Sensor = dasA.JobNamed("A1")
+	s.Control = dasA.JobNamed("A2")
+	s.Actuator = dasA.JobNamed("A3")
+	s.Bursty = dasC.JobNamed("C1")
+	s.Sink = dasC.JobNamed("C2")
 	for i := 0; i < 3; i++ {
-		reps[i] = cl.AddJob(dasS, repComps[i], "S"+string(rune('1'+i)), 2,
-			&component.SensorJob{
-				Signal: "brake.pressure", Out: repChans[i],
-				PhysMin: -10, PhysMax: 110, FrozenWindow: 20,
-			})
-		cl.Produce(reps[i], nS, component.ChannelSpec{
-			Channel: repChans[i], Name: "pressure", Min: 0, Max: 100,
-			MaxAgeRounds: 3, StuckRounds: 20, Sensor: true,
-		})
+		s.Replicas[i] = dasS.JobNamed("S" + string(rune('1'+i)))
 	}
-	voter := &component.VoterJob{Ins: repChans, Out: ChVoted, Tolerance: 1.0}
-	vj := cl.AddJob(dasS, c1, "V", 2, voter)
-	for _, ch := range repChans {
-		cl.Subscribe(vj, ch, 0, true)
-	}
-	cl.Produce(vj, nS, component.ChannelSpec{Channel: ChVoted, Name: "voted", Min: 0, Max: 100, MaxAgeRounds: 3})
-
-	s.Voter = voter
-	s.Sensor, s.Control, s.Actuator = a1, a2, a3
-	s.Bursty, s.Sink = c1j, c2j
-	s.Replicas, s.VoterJob = reps, vj
+	s.VoterJob = dasS.JobNamed("V")
+	s.Voter = s.VoterJob.Impl.(*component.VoterJob)
 }
 
 // Run advances the system by n TDMA rounds.

@@ -1,14 +1,9 @@
 package scenario
 
 import (
-	"fmt"
-
-	"decos/internal/component"
 	"decos/internal/diagnosis"
 	"decos/internal/engine"
-	"decos/internal/sim"
-	"decos/internal/tt"
-	"decos/internal/vnet"
+	"decos/internal/pack"
 )
 
 // Grid builds an n-component cluster (n ≥ 3) for scalability studies: a
@@ -26,48 +21,12 @@ func GridWith(n int, seed uint64, opts diagnosis.Options, extra ...engine.Option
 		panic("scenario: grid needs at least 3 components")
 	}
 	sys := &System{}
-	eng := engine.MustNew(append([]engine.Option{
-		engine.WithTopology(n, 250*sim.Microsecond, 160),
-		engine.WithSeed(seed),
-		engine.WithClocks(50, 0, 20, 1),
-		engine.WithBuild(buildGrid(n)),
-		engine.WithDiagnosis(tt.NodeID(n-1), opts),
-		engine.WithOBD(),
-	}, extra...)...)
+	t := pack.GridTopology(n)
+	eng := engine.MustNew(append(t.Options(seed, opts, nil), extra...)...)
 	sys.Engine = eng
 	sys.Cluster = eng.Cluster
 	sys.Diag = eng.Diag
 	sys.OBD = eng.OBD
 	sys.Injector = eng.Injector
 	return sys
-}
-
-// buildGrid returns the chain-topology population hook for n components.
-func buildGrid(n int) func(cl *component.Cluster) {
-	return func(cl *component.Cluster) {
-		comps := make([]*component.Component, n)
-		for i := 0; i < n; i++ {
-			comps[i] = cl.AddComponent(tt.NodeID(i), fmt.Sprintf("c%d", i), float64(i), 0)
-		}
-		cl.Env.DefineSine("signal", 30, 200*sim.Millisecond, 50)
-
-		for i := 0; i+1 < n; i++ {
-			das := cl.AddDAS(fmt.Sprintf("D%d", i), component.NonSafetyCritical)
-			net := cl.AddNetwork(das, fmt.Sprintf("D%d.tt", i), vnet.TimeTriggered)
-			net.AddEndpoint(tt.NodeID(i), 20, 0)
-			ch := vnet.ChannelID(i + 1)
-			sensor := cl.AddJob(das, comps[i], "sense", 0, &component.SensorJob{
-				Signal: "signal", Out: ch,
-				PhysMin: -10, PhysMax: 110, FrozenWindow: 20,
-			})
-			consumer := cl.AddJob(das, comps[i+1], "consume", 1, component.JobFunc(func(ctx *component.Context) {
-				ctx.Latest(ch)
-			}))
-			cl.Produce(sensor, net, component.ChannelSpec{
-				Channel: ch, Name: "signal", Min: 0, Max: 100,
-				MaxAgeRounds: 3, StuckRounds: 20, Sensor: true,
-			})
-			cl.Subscribe(consumer, ch, 0, true)
-		}
-	}
 }

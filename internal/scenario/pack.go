@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"decos/internal/pack"
+)
+
+// ParseKind maps a campaign-mix kind name from a scenario pack onto the
+// FaultKind enum. The name set is pinned to pack.CampaignKinds by a
+// contract test (pack cannot import scenario, so it carries its own
+// copy of the list for validation).
+func ParseKind(name string) (FaultKind, bool) {
+	for _, k := range AllKinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// CampaignFromManifest maps a validated campaign pack onto the fleet
+// campaign driver. The pack's seed, rounds and diagnosis overrides
+// carry over; an empty mix falls back to the paper's default field
+// distribution, exactly like a nil Campaign.Mix.
+func CampaignFromManifest(m *pack.Manifest) Campaign {
+	cs := m.Campaign
+	if cs == nil {
+		panic("scenario: CampaignFromManifest on a single-vehicle pack")
+	}
+	c := Campaign{
+		Vehicles:         cs.Vehicles,
+		Rounds:           m.Rounds,
+		Seed:             m.Seed,
+		FaultFreeShare:   cs.FaultFreeShare,
+		FaultsPerVehicle: cs.FaultsPerVehicle,
+		Opts:             m.Diagnosis.Options(),
+	}
+	if len(cs.Mix) > 0 {
+		mix := make(map[FaultKind]float64, len(cs.Mix))
+		for name, w := range cs.Mix {
+			k, ok := ParseKind(name)
+			if !ok {
+				// Validation pins mix keys to pack.CampaignKinds.
+				panic(fmt.Sprintf("scenario: campaign mix kind %q (validate first)", name))
+			}
+			mix[k] = w
+		}
+		c.Mix = mix
+	}
+	return c
+}
+
+// Conform scores one pack against both classifiers: single-vehicle
+// packs run through the pack conformance runner, campaign packs through
+// the fleet campaign driver (which audits the DECOS diagnoser and the
+// OBD baseline in one pass).
+func Conform(ctx context.Context, m *pack.Manifest) *pack.PackResult {
+	if m.Campaign == nil {
+		return pack.ConformSingle(ctx, m)
+	}
+	res := CampaignFromManifest(m).RunContext(ctx)
+	pr := pack.ScoreCampaign(m, res.DECOS, res.OBD, res.DECOSFalseAlarms, res.OBDFalseAlarms)
+	if res.Partial {
+		pr.Error = "campaign cancelled before all vehicles completed"
+		pr.Pass = false
+	}
+	return pr
+}
+
+// ConformAll scores every pack in sequence into one report.
+func ConformAll(ctx context.Context, ms []*pack.Manifest) *pack.Report {
+	rep := &pack.Report{Version: pack.Version}
+	for _, m := range ms {
+		rep.Add(Conform(ctx, m))
+	}
+	return rep
+}

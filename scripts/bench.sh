@@ -11,8 +11,10 @@
 # -max-ns-ratio RATIO, non-zero exit on any regression).
 #
 # -short trims benchtime so the harness finishes in seconds (CI smoke test);
-# the full run uses the default 1s benchtime for the steady-state set and a
-# single iteration for the whole-experiment set (E8, E13).
+# the full run uses the default 1s benchtime for the steady-state set and
+# three iterations for the whole-experiment set (E8, E13) — a single
+# iteration shows ~±25% wall-clock noise on a shared rig, the 3-run mean
+# stays within the benchfull gate.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -48,7 +50,7 @@ if [ "$SHORT" = 1 ]; then
     go test -run='^$' -bench "$HOT" -benchmem -benchtime=10x . | tee "$RAW"
 else
     go test -run='^$' -bench "$HOT" -benchmem . | tee "$RAW"
-    go test -run='^$' -bench "$FULL" -benchmem -benchtime=1x . | tee -a "$RAW"
+    go test -run='^$' -bench "$FULL" -benchmem -benchtime=3x . | tee -a "$RAW"
 fi
 
 if [ -n "$BASELINE" ]; then

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Scenario-pack conformance gate: run every manifest under packs/
+# against both the DECOS classifier and the OBD baseline and score each
+# pack's declared expectations (cmd/decos-conform).
+#
+# Usage:
+#   scripts/conform.sh [-pack NAME] [-json] [-o REPORT.json]
+#
+# All flags pass through to decos-conform. Exit status: 0 all packs
+# pass, 1 any pack fails, 2 a manifest fails to load.
+set -eu
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/decos-conform "$@"
