@@ -29,16 +29,17 @@ bench:
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr7.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr8.json
 	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr9.json
+	$(GO) run ./cmd/decos-benchcmp -verify BENCH_pr10.json
 
 # Full curated benchmark run (steady-state set at default benchtime plus
 # one-shot E8/E13), gated against the current-rig baseline. BENCH_pr2's
-# ns figures predate a machine-state change, so BENCH_pr9.json is the
+# ns figures predate a machine-state change, so BENCH_pr10.json is the
 # anchor ns ratios are meaningful against. The default gate is 1.25:
 # back-to-back runs on the shared rig show ~±15% ns noise (alloc ratios
 # are the tight invariant and are pinned by TestAllocGuard instead).
 # Override with BASELINE=old.txt (bench text or a committed
 # BENCH_<pr>.json) and GATE=ratio, or GATE= to diff without failing.
-BASELINE ?= BENCH_pr9.json
+BASELINE ?= BENCH_pr10.json
 GATE ?= 1.25
 benchfull:
 	./scripts/bench.sh -baseline $(BASELINE) $(if $(GATE),-gate $(GATE))

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"decos/internal/bayes"
 	"decos/internal/cluster"
 	"decos/internal/core"
 	"decos/internal/diagnosis"
@@ -214,6 +215,18 @@ func BenchmarkClusterRound(b *testing.B) {
 func BenchmarkClusterRoundUnderFault(b *testing.B) {
 	sys := scenario.Fig10(benchSeed, diagnosis.Options{})
 	sys.Injector.ConnectorTx(0, 0, 0, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Run(int64(b.N))
+}
+
+// BenchmarkBayesRound measures one full TDMA round with the Bayesian
+// classification stage swapped in for the DECOS heuristic chain. The
+// interesting comparison is against BenchmarkClusterRound: the delta is
+// the per-round cost of maintaining per-FRU posteriors.
+func BenchmarkBayesRound(b *testing.B) {
+	sys := scenario.Fig10With(benchSeed, diagnosis.Options{},
+		engine.WithClassifier(bayes.New()))
 	b.ReportAllocs()
 	b.ResetTimer()
 	sys.Run(int64(b.N))

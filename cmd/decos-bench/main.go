@@ -46,7 +46,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write allocation profile to file on exit")
 	metricsEvery := flag.Duration("metrics", 0, "dump a telemetry snapshot to stderr every interval (0 = off)")
-	scenarioPath := flag.String("scenario", "", "score a scenario pack (conformance against both classifiers) instead of running experiments")
+	scenarioPath := flag.String("scenario", "", "score a scenario pack (conformance against every classifier) instead of running experiments")
+	classifier := flag.String("classifier", "", "with -scenario: score only this classifier leg (decos, obd or bayes; empty = all)")
 	emitCorpus := flag.String("emit-corpus", "", "write a deterministic loadgen fleet trace to `FILE` and exit")
 	corpusVehicles := flag.Int("corpus-vehicles", 100, "corpus mode: vehicles in the fleet")
 	corpusEvents := flag.Int("corpus-events", 64, "corpus mode: events per vehicle")
@@ -55,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	if *scenarioPath != "" {
-		if err := scorePack(*scenarioPath); err != nil {
+		if err := scorePack(*scenarioPath, *classifier); err != nil {
 			fmt.Fprintf(os.Stderr, "decos-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -121,15 +122,30 @@ func main() {
 	}
 }
 
-// scorePack loads one scenario pack and scores it against both
-// classifiers through the conformance runner, timing the run.
-func scorePack(path string) error {
+// scorePack loads one scenario pack and scores it through the
+// conformance runner, timing the run. A named classifier restricts the
+// scoring to that leg (the others are not simulated).
+func scorePack(path, classifier string) error {
 	m, err := pack.Load(path)
 	if err != nil {
 		return err
 	}
+	clss := pack.Classifiers
+	if classifier != "" {
+		found := false
+		for _, cls := range pack.Classifiers {
+			if cls == classifier {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown classifier %q; pick one of: %s",
+				classifier, strings.Join(pack.Classifiers, " "))
+		}
+		clss = []string{classifier}
+	}
 	start := time.Now()
-	pr := scenario.Conform(context.Background(), m)
+	pr := scenario.ConformFor(context.Background(), m, clss)
 	rep := &pack.Report{Version: pack.Version}
 	rep.Add(pr)
 	fmt.Print(rep.Format())

@@ -1,6 +1,9 @@
 // Command decos-conform runs every scenario pack in a directory against
-// both the DECOS classifier and the OBD baseline and scores the packs'
-// declared expectations into a machine-readable report.
+// all three classification stages — the DECOS rule engine, the OBD
+// threshold baseline and the Bayesian posterior stage — and scores the
+// packs' declared expectations into a machine-readable report. Every
+// classifier column carries its per-leg wall-clock cost, in the table
+// and in the JSON report.
 //
 // Usage:
 //

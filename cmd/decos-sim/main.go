@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	decos-sim [-seed N] [-rounds N] [-fault kind] [-at ms] [-v] [-metrics N]
-//	          [-checkpoint-every N] [-checkpoint-dir DIR]
-//	decos-sim -scenario pack.toml [-seed N] [-rounds N] [-v] ...
+//	decos-sim [-seed N] [-rounds N] [-fault kind] [-at ms] [-classifier C]
+//	          [-v] [-metrics N] [-checkpoint-every N] [-checkpoint-dir DIR]
+//	decos-sim -scenario pack.toml [-seed N] [-rounds N] [-classifier C] [-v] ...
+//
+// -classifier picks the diagnostic pipeline's classification stage:
+// decos (the paper's rule engine, default), obd (the threshold
+// baseline) or bayes (the Bayesian posterior stage). With -scenario it
+// overrides the pack's own classifier selection.
 //
 // Fault kinds: emi seu connector-tx connector-rx wearout intermittent
 // permanent quartz config bohrbug heisenbug job-crash sensor-stuck
@@ -55,6 +60,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	rounds := flag.Int64("rounds", 3000, "TDMA rounds to simulate (1 ms each)")
 	scenarioPath := flag.String("scenario", "", "build the cluster from a scenario pack (JSON/TOML manifest)")
+	classifier := flag.String("classifier", "", "classification stage: decos (default), obd or bayes; overrides the pack's selection")
 	faultName := flag.String("fault", "", "fault kind to inject (empty = healthy)")
 	atMS := flag.Int64("at", 300, "injection time in ms")
 	verbose := flag.Bool("v", false, "print the fault-error-failure chain and symptom stats")
@@ -64,6 +70,13 @@ func main() {
 	ckptEvery := flag.Int64("checkpoint-every", 0, "write an engine checkpoint every N rounds (0 = off)")
 	ckptDir := flag.String("checkpoint-dir", ".", "directory for ckpt_<rounds>.bin files")
 	flag.Parse()
+
+	switch *classifier {
+	case "", pack.ClassifierDECOS, pack.ClassifierOBD, pack.ClassifierBayes:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown classifier %q; pick one of: decos obd bayes\n", *classifier)
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -85,8 +98,9 @@ func main() {
 
 	var eng *engine.Engine
 	if *scenarioPath != "" {
-		eng = engineFromPack(*scenarioPath, *faultName, seed, rounds, eopts)
+		eng = engineFromPack(*scenarioPath, *faultName, *classifier, seed, rounds, eopts)
 	} else {
+		eopts = append(eopts, pack.ClassifierOptions(*classifier)...)
 		var kind scenario.FaultKind = -1
 		if *faultName != "" {
 			for _, k := range scenario.AllKinds() {
@@ -211,9 +225,10 @@ func main() {
 }
 
 // engineFromPack builds the engine from a scenario pack manifest.
-// Explicit -seed/-rounds flags override the pack's values; seed and
-// rounds are written back so the caller's run length follows the pack.
-func engineFromPack(path, faultName string, seed *uint64, rounds *int64, eopts []engine.Option) *engine.Engine {
+// Explicit -seed/-rounds/-classifier flags override the pack's values;
+// seed and rounds are written back so the caller's run length follows
+// the pack.
+func engineFromPack(path, faultName, classifier string, seed *uint64, rounds *int64, eopts []engine.Option) *engine.Engine {
 	if faultName != "" {
 		fmt.Fprintln(os.Stderr, "-fault cannot be combined with -scenario: declare faults in the pack")
 		os.Exit(2)
@@ -233,6 +248,8 @@ func engineFromPack(path, faultName string, seed *uint64, rounds *int64, eopts [
 			m.Seed = *seed
 		case "rounds":
 			m.Rounds = *rounds
+		case "classifier":
+			m.Classifier = classifier
 		}
 	})
 	if err := m.Validate(); err != nil {

@@ -12,7 +12,12 @@
 //	             -seed N -rounds N [-fault kind -at ms]
 //	             -hypothesis remove|inject|wrong-fru
 //	             [-target ID] [-h-fault kind] [-h-at ms] [-h-comp N]
-//	             [-trace FILE]
+//	             [-trace FILE] [-classifier decos|obd|bayes]
+//
+// -classifier must repeat the recorded run's classification stage (the
+// checkpoint of a Bayesian run carries its belief state). With the
+// Bayesian stage the verdict diff also renders each indicted FRU's
+// posterior over fault classes on both sides.
 //
 // -seed/-rounds/-fault/-at must repeat the recorded run's decos-sim
 // flags: the restore reconstructs the engine from the same build and
@@ -43,6 +48,7 @@ import (
 	"strings"
 
 	"decos/internal/diagnosis"
+	"decos/internal/pack"
 	"decos/internal/scenario"
 	"decos/internal/sim"
 	"decos/internal/trace"
@@ -62,11 +68,18 @@ func main() {
 	hAtMS := flag.Int64("h-at", 0, "injection time in ms (inject hypothesis; 0 = at the restore point)")
 	hComp := flag.Int("h-comp", -1, "target component for wrong-fru (-1 = culprit's neighbour)")
 	tracePath := flag.String("trace", "", "recorded trace to cross-check the factual replica against")
+	classifier := flag.String("classifier", "", "classification stage of the recorded run: decos (default), obd or bayes")
 	flag.Parse()
 
 	fail2 := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 		os.Exit(2)
+	}
+
+	switch *classifier {
+	case "", pack.ClassifierDECOS, pack.ClassifierOBD, pack.ClassifierBayes:
+	default:
+		fail2("unknown classifier %q; known: %s", *classifier, strings.Join(pack.Classifiers, " "))
 	}
 
 	kind := parseKind(*faultName, fail2)
@@ -76,9 +89,10 @@ func main() {
 	}
 
 	cfg := whatif.Config{
-		Seed:   *seed,
-		Opts:   diagnosis.Options{},
-		Rounds: *rounds,
+		Seed:       *seed,
+		Opts:       diagnosis.Options{},
+		Rounds:     *rounds,
+		Classifier: *classifier,
 		Hyp: whatif.Hypothesis{
 			Kind:   hyp,
 			Target: *target,

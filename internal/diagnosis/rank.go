@@ -1,0 +1,23 @@
+package diagnosis
+
+import "decos/internal/core"
+
+// RankedVerdict is one entry of a classifier's ranked belief over a
+// FRU's fault classes: the class, the pattern name of the dominant
+// hypothesis behind it, and the calibrated confidence (posterior mass).
+// ClassUnknown represents the healthy hypothesis.
+type RankedVerdict struct {
+	Class      core.FaultClass
+	Pattern    string
+	Confidence float64
+}
+
+// Ranker is the optional classifier extension for stages that maintain
+// a full belief distribution rather than hard conclusions (the Bayesian
+// stage): Ranked returns the subject's fault classes ordered by
+// descending confidence. Consumers (decos-whatif's verdict diff, the
+// calibration experiment) type-assert the active Classifier against it;
+// stages without a belief state simply don't implement it.
+type Ranker interface {
+	Ranked(subject FRUIndex) []RankedVerdict
+}

@@ -6,6 +6,7 @@ import (
 
 	"decos/internal/ckpt"
 	"decos/internal/component"
+	"decos/internal/diagnosis"
 	"decos/internal/sim"
 )
 
@@ -137,6 +138,11 @@ func (e *Engine) encode(enc *ckpt.Encoder) {
 		e.OBD.Snapshot(enc)
 		enc.End()
 	}
+	if s := e.classifierSnapshotter(); s != nil {
+		enc.Begin("cls")
+		s.Snapshot(enc)
+		enc.End()
+	}
 	if e.Recorder != nil {
 		enc.Begin("trace")
 		e.Recorder.Snapshot(enc)
@@ -249,6 +255,9 @@ func restoreEngine(cfg Config) (e *Engine, err error) {
 	if hasOBD {
 		restore("obd", e.OBD)
 	}
+	if s := e.classifierSnapshotter(); s != nil && d.Has("cls") {
+		restore("cls", s)
+	}
 	if hasTrace {
 		restore("trace", e.Recorder)
 	}
@@ -260,6 +269,23 @@ func restoreEngine(cfg Config) (e *Engine, err error) {
 	e.rounds = rounds
 	e.installCheckpointHook()
 	return e, nil
+}
+
+// classifierSnapshotter returns the active classification stage as a
+// Snapshotter when it carries its own run state (the Bayesian stage's
+// posterior). Nil for the stateless DECOS default — default runs keep
+// their exact pre-existing checkpoint bytes — and nil for the OBD
+// stage, whose state the "obd" section already carries.
+func (e *Engine) classifierSnapshotter() ckpt.Snapshotter {
+	if e.Diag == nil {
+		return nil
+	}
+	cls := e.Diag.Assessor.Classifier()
+	if e.OBD != nil && cls == diagnosis.Classifier(e.OBD) {
+		return nil
+	}
+	s, _ := cls.(ckpt.Snapshotter)
+	return s
 }
 
 // clusterJobs adapts the cluster's job-state snapshot methods to the

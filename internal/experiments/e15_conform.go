@@ -20,14 +20,14 @@ import (
 // is reproducible from the pack files alone.
 func E15PackConformance(seed uint64) *Result {
 	_ = seed
-	res := &Result{ID: "E15", Figure: "scenario-pack conformance (DECOS vs OBD)", Metrics: map[string]float64{}}
+	res := &Result{ID: "E15", Figure: "scenario-pack conformance (DECOS vs OBD vs Bayes)", Metrics: map[string]float64{}}
 	rep, err := RunPackConformance(context.Background())
 	if err != nil {
 		res.Table = fmt.Sprintf("pack conformance unavailable: %v\n", err)
 		return res
 	}
 
-	t := newTable("pack", "kind", "decos", "obd", "status")
+	t := newTable("pack", "kind", "decos", "obd", "bayes", "status")
 	for _, p := range rep.Packs {
 		kind := "vehicle"
 		if p.Campaign {
@@ -37,14 +37,17 @@ func E15PackConformance(seed uint64) *Result {
 		if !p.Pass {
 			status = "FAIL"
 		}
-		scores := map[string]string{pack.ClassifierDECOS: "-", pack.ClassifierOBD: "-"}
+		scores := map[string]string{
+			pack.ClassifierDECOS: "-", pack.ClassifierOBD: "-", pack.ClassifierBayes: "-",
+		}
 		for _, cs := range p.Classifiers {
 			scores[cs.Classifier] = fmt.Sprintf("%d/%d", cs.Satisfied, cs.Total)
 		}
 		if p.Error != "" {
 			status = "ERROR"
 		}
-		t.row(p.Name, kind, scores[pack.ClassifierDECOS], scores[pack.ClassifierOBD], status)
+		t.row(p.Name, kind, scores[pack.ClassifierDECOS], scores[pack.ClassifierOBD],
+			scores[pack.ClassifierBayes], status)
 	}
 	res.Table = t.String()
 	res.Metrics["packs"] = float64(rep.Total)

@@ -63,6 +63,7 @@ var registry = []struct {
 	{"E13", E13FleetWarranty},
 	{"E14", E14Whatif},
 	{"E15", E15PackConformance},
+	{"E16", E16BayesCalibration},
 	{"A1", A1WindowSweep},
 	{"A2", A2AlphaSweep},
 	{"A3", A3Encapsulation},

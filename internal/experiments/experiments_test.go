@@ -263,3 +263,31 @@ func TestE14DivergenceLocalizes(t *testing.T) {
 		}
 	}
 }
+
+func TestE16BayesGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dual-classifier seed sweep in -short mode")
+	}
+	r := E16BayesCalibration(seed)
+	// The headline gate of the Bayesian stage: it must attribute hardware
+	// faults at least as well as the rule engine it can replace.
+	if r.Metrics["recall_bayes"] < r.Metrics["recall_decos"] {
+		t.Errorf("bayes recall %.3f below decos recall %.3f\n%s",
+			r.Metrics["recall_bayes"], r.Metrics["recall_decos"], r.Table)
+	}
+	if r.Metrics["precision_bayes"] < 0.9 {
+		t.Errorf("bayes accusation precision %.3f\n%s",
+			r.Metrics["precision_bayes"], r.Table)
+	}
+	// Posterior-derived confidences should be no worse calibrated than the
+	// rule engine's hand-assigned ones.
+	if r.Metrics["ece_bayes"] > r.Metrics["ece_decos"]+0.05 {
+		t.Errorf("bayes ECE %.3f much worse than decos %.3f\n%s",
+			r.Metrics["ece_bayes"], r.Metrics["ece_decos"], r.Table)
+	}
+	// Both probabilistic baselines must beat the OBD threshold baseline.
+	if r.Metrics["recall_bayes"] <= r.Metrics["recall_obd"] {
+		t.Errorf("bayes recall %.3f not above obd %.3f\n%s",
+			r.Metrics["recall_bayes"], r.Metrics["recall_obd"], r.Table)
+	}
+}

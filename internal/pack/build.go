@@ -3,6 +3,7 @@ package pack
 import (
 	"fmt"
 
+	"decos/internal/bayes"
 	"decos/internal/component"
 	"decos/internal/diagnosis"
 	"decos/internal/engine"
@@ -12,18 +13,35 @@ import (
 )
 
 // EngineOptions compiles the manifest into the engine option list:
-// topology, seed, clocks, build hook, diagnosis, OBD, and — when the
-// pack declares faults or environment profiles — a fault-manifest hook.
-// Extra options (classifier selection, trace sinks, checkpoint sinks)
-// compose on top. The option sequence matches the hand-written scenario
-// constructors exactly, so a pack run is byte-identical to the
-// equivalent Go-built run under the same seed.
+// topology, seed, clocks, build hook, diagnosis, OBD, the manifest's
+// classifier selection, and — when the pack declares faults or
+// environment profiles — a fault-manifest hook. Extra options
+// (classifier overrides, trace sinks, checkpoint sinks) compose on top.
+// The option sequence matches the hand-written scenario constructors
+// exactly, so a pack run is byte-identical to the equivalent Go-built
+// run under the same seed.
 func (m *Manifest) EngineOptions(extra ...engine.Option) []engine.Option {
 	opts := m.Topology.Options(m.Seed, m.Diagnosis.Options(), nil)
+	opts = append(opts, ClassifierOptions(m.Classifier)...)
 	if len(m.Faults) > 0 || len(m.Environment) > 0 {
 		opts = append(opts, engine.WithFaults(m.ApplyFaults))
 	}
 	return append(opts, extra...)
+}
+
+// ClassifierOptions maps a classifier name onto the engine options
+// selecting that classification stage. The empty name and "decos" are
+// the default pipeline (no option at all — the engine wiring stays
+// byte-identical to pre-selector builds); "bayes" instances a fresh
+// Bayesian stage, so every engine gets its own belief state.
+func ClassifierOptions(name string) []engine.Option {
+	switch name {
+	case ClassifierOBD:
+		return []engine.Option{engine.WithOBDClassifier()}
+	case ClassifierBayes:
+		return []engine.Option{engine.WithClassifier(bayes.New())}
+	}
+	return nil
 }
 
 // Options compiles a resolved topology into the canonical engine option

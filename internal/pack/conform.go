@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"decos/internal/core"
 	"decos/internal/engine"
@@ -14,7 +15,12 @@ import (
 const (
 	ClassifierDECOS = "decos"
 	ClassifierOBD   = "obd"
+	ClassifierBayes = "bayes"
 )
+
+// Classifiers lists every classification stage the conformance runner
+// scores, in report order.
+var Classifiers = []string{ClassifierDECOS, ClassifierOBD, ClassifierBayes}
 
 // Check is one scored assertion of a conformance run.
 type Check struct {
@@ -32,9 +38,13 @@ type ClassifierScore struct {
 	Score      float64 `json:"score"`
 	MinScore   float64 `json:"min_score"`
 	Pass       bool    `json:"pass"`
+	// WallClockMS is the wall-clock cost of this classifier's run leg
+	// (build + simulate + score). Campaign legs that share one fleet run
+	// report the shared run's cost.
+	WallClockMS float64 `json:"wall_clock_ms"`
 }
 
-// PackResult is one pack's conformance outcome across both classifiers.
+// PackResult is one pack's conformance outcome across every classifier.
 type PackResult struct {
 	Name        string            `json:"name"`
 	Source      string            `json:"source,omitempty"`
@@ -85,7 +95,7 @@ func (r *Report) Format() string {
 			if !cs.Pass {
 				marker = "!"
 			}
-			fmt.Fprintf(&b, "  %s %d/%d (min %.2f)%s", cs.Classifier, cs.Satisfied, cs.Total, cs.MinScore, marker)
+			fmt.Fprintf(&b, "  %s %d/%d (min %.2f, %.0fms)%s", cs.Classifier, cs.Satisfied, cs.Total, cs.MinScore, cs.WallClockMS, marker)
 		}
 		b.WriteString("\n")
 		for _, cs := range p.Classifiers {
@@ -100,18 +110,25 @@ func (r *Report) Format() string {
 	return b.String()
 }
 
-// ConformSingle runs a single-vehicle pack against both classifiers and
+// ConformSingle runs a single-vehicle pack against every classifier and
 // scores its expectations. Campaign packs are scored by the scenario
 // layer (which owns the fleet campaign driver); calling this on one
 // returns an error result.
 func ConformSingle(ctx context.Context, m *Manifest) *PackResult {
+	return ConformSingleFor(ctx, m, Classifiers)
+}
+
+// ConformSingleFor is ConformSingle restricted to the named classifiers
+// (the -classifier CLI flags time one stage without paying for the
+// others).
+func ConformSingleFor(ctx context.Context, m *Manifest, clss []string) *PackResult {
 	pr := &PackResult{Name: m.Name, Source: m.Source, Seed: m.Seed, Rounds: m.Rounds}
 	if m.Campaign != nil {
 		pr.Error = "campaign pack: score through the scenario conformance runner"
 		return pr
 	}
 	pr.Pass = true
-	for _, cls := range []string{ClassifierDECOS, ClassifierOBD} {
+	for _, cls := range clss {
 		cs, err := conformClassifier(ctx, m, cls)
 		if err != nil {
 			pr.Error = err.Error()
@@ -127,13 +144,13 @@ func ConformSingle(ctx context.Context, m *Manifest) *PackResult {
 }
 
 // conformClassifier runs the pack once under the named classifier and
-// scores every expectation scoped to it.
+// scores every expectation scoped to it. The manifest's own classifier
+// selection is bypassed: conformance always pins the stage explicitly.
 func conformClassifier(ctx context.Context, m *Manifest, cls string) (*ClassifierScore, error) {
-	extra := []engine.Option{}
-	if cls == ClassifierOBD {
-		extra = append(extra, engine.WithOBDClassifier())
-	}
-	eng, err := m.Engine(extra...)
+	start := time.Now()
+	mc := *m
+	mc.Classifier = ""
+	eng, err := mc.Engine(ClassifierOptions(cls)...)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cls, err)
 	}
@@ -168,6 +185,7 @@ func conformClassifier(ctx context.Context, m *Manifest, cls string) (*Classifie
 	}
 
 	cs.finish()
+	cs.WallClockMS = float64(time.Since(start).Microseconds()) / 1e3
 	return cs, nil
 }
 
@@ -234,11 +252,14 @@ func checkFalseAlarms(eng *engine.Engine, max int) Check {
 }
 
 // minScoreFor returns the pass threshold for a classifier: packs assert
-// DECOS behaviour by default (min 1.0) and score the OBD baseline
-// report-only (min 0) unless the pack raises it.
+// DECOS behaviour by default (min 1.0) and score the OBD and Bayesian
+// alternatives report-only (min 0) unless the pack raises them.
 func (m *Manifest) minScoreFor(cls string) float64 {
-	if cls == ClassifierOBD {
+	switch cls {
+	case ClassifierOBD:
 		return m.Expect.MinScoreOBD
+	case ClassifierBayes:
+		return m.Expect.MinScoreBayes
 	}
 	return m.Expect.MinScore
 }
@@ -262,20 +283,32 @@ func (cs *ClassifierScore) finish() {
 	cs.Pass = cs.Score >= cs.MinScore
 }
 
+// CampaignLeg is one classifier's audited fleet outcome, handed to
+// ScoreCampaign by the scenario campaign driver (pack cannot import it).
+type CampaignLeg struct {
+	Report      *maintenance.Report
+	FalseAlarms int
+	WallClockMS float64
+}
+
 // ScoreCampaign scores a campaign pack from the audited fleet reports
-// of both classifiers (produced by the scenario campaign driver; pack
-// cannot import it).
-func ScoreCampaign(m *Manifest, decos, obd *maintenance.Report, decosFalseAlarms, obdFalseAlarms int) *PackResult {
+// of every classifier the caller ran: one leg per Classifiers name
+// present in the map (absent names score no column — that is how
+// classifier-restricted CLI runs skip legs).
+func ScoreCampaign(m *Manifest, legs map[string]CampaignLeg) *PackResult {
 	pr := &PackResult{
 		Name: m.Name, Source: m.Source, Seed: m.Seed, Rounds: m.Rounds,
 		Campaign: true, Pass: true,
 	}
-	for _, cls := range []string{ClassifierDECOS, ClassifierOBD} {
-		rep, falseAlarms := decos, decosFalseAlarms
-		if cls == ClassifierOBD {
-			rep, falseAlarms = obd, obdFalseAlarms
+	decos := legs[ClassifierDECOS].Report
+	obd := legs[ClassifierOBD].Report
+	for _, cls := range Classifiers {
+		leg, ok := legs[cls]
+		if !ok {
+			continue
 		}
-		cs := &ClassifierScore{Classifier: cls, MinScore: m.minScoreFor(cls)}
+		rep, falseAlarms := leg.Report, leg.FalseAlarms
+		cs := &ClassifierScore{Classifier: cls, MinScore: m.minScoreFor(cls), WallClockMS: leg.WallClockMS}
 		e := &m.Expect
 		if e.MinClassAccuracy > 0 {
 			acc := rep.ClassAccuracy()
@@ -300,7 +333,7 @@ func ScoreCampaign(m *Manifest, decos, obd *maintenance.Report, decosFalseAlarms
 				Detail: fmt.Sprintf("measured %d", falseAlarms),
 			})
 		}
-		if e.DECOSBeatsOBD {
+		if e.DECOSBeatsOBD && decos != nil && obd != nil {
 			// The architecture claim: strictly better fault classification
 			// without paying for it in no-fault-found removals.
 			cs.Checks = append(cs.Checks, Check{

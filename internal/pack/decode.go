@@ -233,6 +233,7 @@ func decodeManifest(root *value, source string) (*Manifest, error) {
 	m.Description = doc.str("description", "")
 	m.Seed = doc.uint64("seed", 0)
 	m.Rounds = doc.int64("rounds", 0)
+	m.Classifier = doc.str("classifier", "")
 
 	if topo := doc.table("topology"); topo != nil {
 		decodeTopology(topo, &m.Topology)
@@ -460,6 +461,7 @@ func decodeExpect(o *objDec, e *Expect) {
 	e.MaxFalseAlarms = o.integer("max_false_alarms", -1)
 	e.MinScore = o.float("min_score", 1)
 	e.MinScoreOBD = o.float("min_score_obd", 0)
+	e.MinScoreBayes = o.float("min_score_bayes", 0)
 	e.MinClassAccuracy = o.float("min_class_accuracy", 0)
 	e.MaxNFFRatio = o.float("max_nff_ratio", -1)
 	e.DECOSBeatsOBD = o.boolean("decos_beats_obd", false)

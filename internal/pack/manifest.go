@@ -30,8 +30,8 @@
 // Manifests are validated strictly: unknown fields, out-of-range rates
 // and dangling FRU references are rejected with errors that name the
 // offending field path and source line. The conformance runner
-// (cmd/decos-conform) runs every pack against both the DECOS and the
-// OBD classifier and scores the verdicts against the pack's
+// (cmd/decos-conform) runs every pack against the DECOS, OBD and
+// Bayesian classifiers and scores the verdicts against the pack's
 // expectations.
 package pack
 
@@ -63,6 +63,11 @@ type Manifest struct {
 	Seed uint64
 	// Rounds is the simulated horizon in TDMA rounds.
 	Rounds int64
+	// Classifier selects the diagnostic pipeline's classification stage
+	// for plain (non-conformance) runs: "decos" (default), "obd" or
+	// "bayes". The conformance runner ignores it — it always scores all
+	// classifiers side by side.
+	Classifier string
 
 	Topology    Topology
 	Diagnosis   DiagnosisSpec
@@ -325,7 +330,7 @@ type CampaignSpec struct {
 // VerdictExpect asserts one diagnostic outcome: the named FRU carries a
 // verdict whose class matches (core.FaultClass.Matches equivalences
 // honored) and, when Action is set, whose advised action equals it.
-// Classifier scopes the assertion ("decos", "obd", "" = both).
+// Classifier scopes the assertion ("decos", "obd", "bayes", "" = all).
 type VerdictExpect struct {
 	FRU        string
 	Class      string
@@ -334,9 +339,10 @@ type VerdictExpect struct {
 }
 
 // Expect is the pack's scored contract. Every assertion contributes one
-// check to the conformance score; MinScore / MinScoreOBD set the pass
-// thresholds per classifier (DECOS defaults to 1.0, OBD to 0 — the
-// baseline is scored and reported but only gates when asked to).
+// check to the conformance score; MinScore / MinScoreOBD / MinScoreBayes
+// set the pass thresholds per classifier (DECOS defaults to 1.0, OBD and
+// Bayes to 0 — the alternatives are scored and reported but only gate
+// when asked to).
 type Expect struct {
 	// Healthy asserts a clean bill: no standing verdicts and no removal
 	// advice on any hardware FRU.
@@ -347,6 +353,7 @@ type Expect struct {
 	Verdicts       []VerdictExpect
 	MinScore       float64
 	MinScoreOBD    float64
+	MinScoreBayes  float64
 
 	// Campaign expectations (campaign packs only).
 	MinClassAccuracy float64

@@ -101,6 +101,11 @@ func (v *validator) run() {
 	if m.Rounds < 1 || m.Rounds > MaxRounds {
 		v.failf("rounds", "must be in [1, %d], got %d", MaxRounds, m.Rounds)
 	}
+	switch m.Classifier {
+	case "", ClassifierDECOS, ClassifierOBD, ClassifierBayes:
+	default:
+		v.failf("classifier", "must be %q, %q or %q, got %q", ClassifierDECOS, ClassifierOBD, ClassifierBayes, m.Classifier)
+	}
 	info := v.topology()
 	if v.err != nil {
 		return
@@ -628,6 +633,9 @@ func (v *validator) expect(info *topologyInfo) {
 	if e.MinScoreOBD < 0 || e.MinScoreOBD > 1 {
 		v.failf("expect.min_score_obd", "must be in [0, 1], got %g", e.MinScoreOBD)
 	}
+	if e.MinScoreBayes < 0 || e.MinScoreBayes > 1 {
+		v.failf("expect.min_score_bayes", "must be in [0, 1], got %g", e.MinScoreBayes)
+	}
 	if e.MinClassAccuracy < 0 || e.MinClassAccuracy > 1 {
 		v.failf("expect.min_class_accuracy", "must be in [0, 1], got %g", e.MinClassAccuracy)
 	}
@@ -665,9 +673,9 @@ func (v *validator) expect(info *topologyInfo) {
 			}
 		}
 		switch ve.Classifier {
-		case "", "decos", "obd":
+		case "", "decos", "obd", "bayes":
 		default:
-			v.failf(field+".classifier", "must be \"decos\", \"obd\" or empty (both), got %q", ve.Classifier)
+			v.failf(field+".classifier", "must be \"decos\", \"obd\", \"bayes\" or empty (all), got %q", ve.Classifier)
 		}
 	}
 }

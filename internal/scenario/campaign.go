@@ -13,6 +13,7 @@ import (
 	"decos/internal/faults"
 	"decos/internal/fleet"
 	"decos/internal/maintenance"
+	"decos/internal/pack"
 	"decos/internal/sim"
 	"decos/internal/trace"
 	"decos/internal/tt"
@@ -212,6 +213,15 @@ type Campaign struct {
 	// count (all randomness is pre-drawn sequentially). 0 or 1 runs
 	// sequentially.
 	Workers int
+	// Classifier selects the diagnostic pipeline's classification stage
+	// for every vehicle: "" or "decos" keeps the DECOS rule engine, "obd"
+	// swaps the threshold baseline into the pipeline, "bayes" installs
+	// the Bayesian posterior stage (a fresh posterior per vehicle —
+	// vehicles are independent realizations). The OBD baseline advisor
+	// stays attached alongside regardless, so CampaignResult.OBD always
+	// reports the baseline while CampaignResult.DECOS reports whatever
+	// stage runs in the pipeline.
+	Classifier string
 	// ChunkRounds > 0 runs every vehicle in chunks of that many rounds,
 	// checkpointing the engine between chunks and restoring each
 	// continuation into a freshly built engine (engine.WithRestore). The
@@ -342,11 +352,13 @@ func (c Campaign) run(ctx context.Context, sink TraceSink) *CampaignResult {
 			return false
 		}
 		p := plans[v]
-		var extra []engine.Option
+		// Each vehicle gets its own classifier instance (the Bayesian
+		// stage is stateful; posteriors must not leak across vehicles).
+		extra := pack.ClassifierOptions(c.Classifier)
 		var buf bytes.Buffer
 		if sink != nil {
-			extra = []engine.Option{engine.WithTraceWriter(&buf,
-				trace.Options{TrustEveryEpochs: 5, Vehicle: v + 1})}
+			extra = append(extra, engine.WithTraceWriter(&buf,
+				trace.Options{TrustEveryEpochs: 5, Vehicle: v + 1}))
 		}
 		// The injections ride in the fault manifest (Fig10Faulted), not as
 		// post-build calls: a manifest is what a checkpoint restore can

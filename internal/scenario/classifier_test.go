@@ -4,26 +4,33 @@ import (
 	"testing"
 
 	"decos/internal/baseline"
+	"decos/internal/bayes"
+	"decos/internal/ckpt"
 	"decos/internal/core"
 	"decos/internal/diagnosis"
 	"decos/internal/engine"
 	"decos/internal/sim"
 )
 
-// Both first-class diagnosers satisfy the pipeline's classification-stage
-// contract.
+// All three first-class diagnosers satisfy the pipeline's
+// classification-stage contract; the Bayesian stage additionally
+// checkpoints its posterior and ranks verdicts.
 var (
 	_ diagnosis.Classifier = (*diagnosis.FaultModelClassifier)(nil)
 	_ diagnosis.Classifier = (*baseline.OBD)(nil)
+	_ diagnosis.Classifier = (*bayes.Classifier)(nil)
+	_ ckpt.Snapshotter     = (*bayes.Classifier)(nil)
+	_ diagnosis.Ranker     = (*bayes.Classifier)(nil)
 )
 
 // TestClassifiersInterchangeable is the contract test of the staged
-// pipeline: the DECOS fault-model classifier and the OBD baseline plug
-// into the same Collector → Classifier → Adviser pipeline, and for a
-// fault both can see — a permanent fail-silent component, well past the
-// OBD 500 ms DTC threshold — both drive a verdict through the identical
-// downstream surface (VerdictOf / Advise), with the maintenance action
-// derived by the shared adviser rule.
+// pipeline: the DECOS fault-model classifier, the OBD baseline and the
+// Bayesian posterior stage plug into the same Collector → Classifier →
+// Adviser pipeline, and for a fault all three can see — a permanent
+// fail-silent component, well past the OBD 500 ms DTC threshold — each
+// drives a verdict through the identical downstream surface
+// (VerdictOf / Advise), with the maintenance action derived by the
+// shared adviser rule.
 func TestClassifiersInterchangeable(t *testing.T) {
 	const seed = 20050404
 	run := func(extra ...engine.Option) *System {
@@ -37,6 +44,7 @@ func TestClassifiersInterchangeable(t *testing.T) {
 
 	decos := run()
 	obd := run(engine.WithOBDClassifier())
+	bayesian := run(engine.WithClassifier(bayes.New()))
 
 	if name := decos.Diag.Assessor.Classifier().Name(); name != "decos" {
 		t.Fatalf("default classifier = %q, want decos", name)
@@ -44,9 +52,12 @@ func TestClassifiersInterchangeable(t *testing.T) {
 	if name := obd.Diag.Assessor.Classifier().Name(); name != "obd" {
 		t.Fatalf("selected classifier = %q, want obd", name)
 	}
+	if name := bayesian.Diag.Assessor.Classifier().Name(); name != "bayes" {
+		t.Fatalf("selected classifier = %q, want bayes", name)
+	}
 
 	fru := core.HardwareFRU(2)
-	for _, sys := range []*System{decos, obd} {
+	for _, sys := range []*System{decos, obd, bayesian} {
 		name := sys.Diag.Assessor.Classifier().Name()
 
 		v, ok := sys.Diag.VerdictOf(fru)

@@ -1,0 +1,63 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCampaignMonteCarlo covers the confidence-campaign mode: N seeded
+// replicates aggregate to mean ± 95 % CI per audit metric, the
+// replicate seeding is deterministic (the whole result reproduces), and
+// cancellation yields a partial aggregate instead of blocking.
+func TestCampaignMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated campaigns in -short mode")
+	}
+	c := Campaign{
+		Vehicles:       4,
+		Rounds:         1200,
+		Seed:           20050404,
+		FaultFreeShare: 0.25,
+		Workers:        2,
+		Classifier:     "bayes",
+	}
+	const n = 3
+	mc := c.MonteCarlo(context.Background(), n)
+
+	if mc.Partial || mc.Completed != n {
+		t.Fatalf("completed %d/%d replicates, partial=%v", mc.Completed, n, mc.Partial)
+	}
+	for name, s := range map[string]Stat{
+		"pipeline accuracy": mc.PipelineAccuracy,
+		"pipeline NFF":      mc.PipelineNFF,
+		"baseline accuracy": mc.BaselineAccuracy,
+		"baseline NFF":      mc.BaselineNFF,
+		"false alarms":      mc.FalseAlarms,
+	} {
+		if s.N != n {
+			t.Errorf("%s aggregates %d samples, want %d", name, s.N, n)
+		}
+		if s.CI95 < 0 {
+			t.Errorf("%s CI95 = %f, want >= 0", name, s.CI95)
+		}
+		if s.Min > s.Mean || s.Mean > s.Max {
+			t.Errorf("%s mean %.4f outside [%.4f, %.4f]", name, s.Mean, s.Min, s.Max)
+		}
+	}
+	if mc.PipelineAccuracy.Mean <= 0 {
+		t.Errorf("pipeline accuracy mean %.4f, want > 0", mc.PipelineAccuracy.Mean)
+	}
+
+	// Replicates are seeded from (Seed, r) alone: the aggregate must
+	// reproduce bit-identically.
+	if again := c.MonteCarlo(context.Background(), n); *again != *mc {
+		t.Errorf("Monte Carlo aggregate not reproducible:\n  first:  %+v\n  second: %+v", mc, again)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if part := c.MonteCarlo(cancelled, n); !part.Partial || part.Completed != 0 {
+		t.Errorf("cancelled campaign: completed %d, partial=%v; want 0 and true",
+			part.Completed, part.Partial)
+	}
+}

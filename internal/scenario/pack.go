@@ -3,6 +3,7 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"decos/internal/pack"
 )
@@ -35,6 +36,7 @@ func CampaignFromManifest(m *pack.Manifest) Campaign {
 		Seed:             m.Seed,
 		FaultFreeShare:   cs.FaultFreeShare,
 		FaultsPerVehicle: cs.FaultsPerVehicle,
+		Classifier:       m.Classifier,
 		Opts:             m.Diagnosis.Options(),
 	}
 	if len(cs.Mix) > 0 {
@@ -52,17 +54,56 @@ func CampaignFromManifest(m *pack.Manifest) Campaign {
 	return c
 }
 
-// Conform scores one pack against both classifiers: single-vehicle
-// packs run through the pack conformance runner, campaign packs through
-// the fleet campaign driver (which audits the DECOS diagnoser and the
-// OBD baseline in one pass).
+// Conform scores one pack against every classifier: single-vehicle
+// packs run through the pack conformance runner; campaign packs run the
+// fleet twice — one pass with the DECOS pipeline (which audits the OBD
+// baseline alongside, yielding two legs for one run cost) and one pass
+// with the Bayesian pipeline. The pack's own classifier selection is
+// ignored: conformance always pins the stage per leg.
 func Conform(ctx context.Context, m *pack.Manifest) *pack.PackResult {
+	return ConformFor(ctx, m, pack.Classifiers)
+}
+
+// ConformFor is Conform restricted to the named classifiers; campaign
+// legs that are not asked for are not simulated.
+func ConformFor(ctx context.Context, m *pack.Manifest, clss []string) *pack.PackResult {
 	if m.Campaign == nil {
-		return pack.ConformSingle(ctx, m)
+		return pack.ConformSingleFor(ctx, m, clss)
 	}
-	res := CampaignFromManifest(m).RunContext(ctx)
-	pr := pack.ScoreCampaign(m, res.DECOS, res.OBD, res.DECOSFalseAlarms, res.OBDFalseAlarms)
-	if res.Partial {
+	want := map[string]bool{}
+	for _, cls := range clss {
+		want[cls] = true
+	}
+	legs := map[string]pack.CampaignLeg{}
+	partial := false
+	if want[pack.ClassifierDECOS] || want[pack.ClassifierOBD] {
+		base := CampaignFromManifest(m)
+		base.Classifier = ""
+		start := time.Now()
+		res := base.RunContext(ctx)
+		baseMS := float64(time.Since(start).Microseconds()) / 1e3
+		partial = partial || res.Partial
+		if want[pack.ClassifierDECOS] {
+			legs[pack.ClassifierDECOS] = pack.CampaignLeg{
+				Report: res.DECOS, FalseAlarms: res.DECOSFalseAlarms, WallClockMS: baseMS}
+		}
+		if want[pack.ClassifierOBD] {
+			legs[pack.ClassifierOBD] = pack.CampaignLeg{
+				Report: res.OBD, FalseAlarms: res.OBDFalseAlarms, WallClockMS: baseMS}
+		}
+	}
+	if want[pack.ClassifierBayes] {
+		bc := CampaignFromManifest(m)
+		bc.Classifier = pack.ClassifierBayes
+		start := time.Now()
+		bres := bc.RunContext(ctx)
+		partial = partial || bres.Partial
+		legs[pack.ClassifierBayes] = pack.CampaignLeg{
+			Report: bres.DECOS, FalseAlarms: bres.DECOSFalseAlarms,
+			WallClockMS: float64(time.Since(start).Microseconds()) / 1e3}
+	}
+	pr := pack.ScoreCampaign(m, legs)
+	if partial {
 		pr.Error = "campaign cancelled before all vehicles completed"
 		pr.Pass = false
 	}

@@ -205,11 +205,23 @@ func TestShippedPacksConform(t *testing.T) {
 				}
 			}
 			second := Conform(ctx, m)
-			a, _ := json.Marshal(first)
-			b, _ := json.Marshal(second)
+			a, _ := json.Marshal(stripWallClock(first))
+			b, _ := json.Marshal(stripWallClock(second))
 			if !bytes.Equal(a, b) {
 				t.Fatalf("conformance is not deterministic:\nfirst:  %s\nsecond: %s", a, b)
 			}
 		})
 	}
+}
+
+// stripWallClock zeroes the per-leg wall-clock before the determinism
+// comparison: timing is the one report field allowed to vary between
+// otherwise identical runs.
+func stripWallClock(pr *pack.PackResult) *pack.PackResult {
+	out := *pr
+	out.Classifiers = append([]pack.ClassifierScore(nil), pr.Classifiers...)
+	for i := range out.Classifiers {
+		out.Classifiers[i].WallClockMS = 0
+	}
+	return &out
 }

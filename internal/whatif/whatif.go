@@ -18,10 +18,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"decos/internal/core"
 	"decos/internal/diagnosis"
 	"decos/internal/faults"
+	"decos/internal/pack"
 	"decos/internal/scenario"
 	"decos/internal/sim"
 	"decos/internal/trace"
@@ -96,6 +98,13 @@ type Config struct {
 	Plan []scenario.InjectPlan
 	// Rounds is the replay horizon (TDMA rounds from t=0).
 	Rounds int64
+	// Classifier names the classification stage both replicas run
+	// ("", "decos", "obd" or "bayes" — pack.Classifiers). It must match
+	// the recorded run's stage: a checkpoint written under the Bayesian
+	// stage carries its belief state in the "cls" section, and restoring
+	// it under a different stage (or vice versa) forfeits the
+	// byte-identical replay contract the divergence report rests on.
+	Classifier string
 	// Checkpoint is the encoded engine checkpoint to restore from.
 	Checkpoint []byte
 	Hyp        Hypothesis
@@ -159,6 +168,12 @@ type Report struct {
 	// FactualVerdicts and CounterVerdicts are the final diagnostic
 	// verdicts of each replica.
 	FactualVerdicts, CounterVerdicts []diagnosis.Verdict
+	// FactualRanked and CounterRanked carry the full ranked belief per
+	// indicted FRU when the active classification stage maintains one
+	// (diagnosis.Ranker — the Bayesian stage); nil otherwise. The verdict
+	// diff renders them so the engineer sees how far the counterfactual
+	// moved the posterior, not just whether the MAP class flipped.
+	FactualRanked, CounterRanked map[string][]diagnosis.RankedVerdict
 	// TraceMatch is nil when no recording was supplied.
 	TraceMatch *TraceCheck
 }
@@ -174,7 +189,8 @@ func (c *capture) Close() error                { return nil }
 // verdict — trust sampling and ledger echo off, so the stream is a pure
 // function of cluster behaviour).
 func (cfg *Config) replica() (*scenario.System, *capture, error) {
-	sys, err := scenario.Fig10Restored(bytes.NewReader(cfg.Checkpoint), cfg.Seed, cfg.Opts, cfg.Plan)
+	sys, err := scenario.Fig10Restored(bytes.NewReader(cfg.Checkpoint), cfg.Seed, cfg.Opts, cfg.Plan,
+		pack.ClassifierOptions(cfg.Classifier)...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -358,15 +374,38 @@ func Run(cfg Config) (*Report, error) {
 	rep.Div = diverge(factCap.events, counterCap.events)
 	rep.FactualVerdicts = fact.Diag.Assessor.CurrentAll()
 	rep.CounterVerdicts = counter.Diag.Assessor.CurrentAll()
+	rep.FactualRanked = rankedOf(fact, rep.FactualVerdicts)
+	rep.CounterRanked = rankedOf(counter, rep.CounterVerdicts)
 	if cfg.Recorded != nil {
 		rep.TraceMatch = crossCheck(cfg.Recorded, factCap.events, rep.RestoredAt)
 	}
 	return rep, nil
 }
 
+// rankedOf snapshots the classifier's ranked belief for every indicted
+// FRU when the stage implements diagnosis.Ranker; nil otherwise. The
+// ranked slices are copied — the classifier owns its return value only
+// until the next call.
+func rankedOf(sys *scenario.System, verdicts []diagnosis.Verdict) map[string][]diagnosis.RankedVerdict {
+	ranker, ok := sys.Diag.Assessor.Classifier().(diagnosis.Ranker)
+	if !ok {
+		return nil
+	}
+	out := map[string][]diagnosis.RankedVerdict{}
+	for i := range verdicts {
+		v := &verdicts[i]
+		if r := ranker.Ranked(v.Subject); len(r) > 0 {
+			out[v.FRU.String()] = append([]diagnosis.RankedVerdict(nil), r...)
+		}
+	}
+	return out
+}
+
 // VerdictDiff renders the side-by-side final-verdict comparison: one row
 // per FRU either replica indicted, factual on the left, counterfactual
-// on the right, differing rows marked.
+// on the right, differing rows marked. When the classification stage
+// exposes a ranked belief (diagnosis.Ranker), each row is followed by
+// the posterior over fault classes on both sides.
 func (r *Report) VerdictDiff() string {
 	type side struct{ f, c string }
 	rows := map[string]*side{}
@@ -407,9 +446,32 @@ func (r *Report) VerdictDiff() string {
 			c = "-"
 		}
 		fmt.Fprintf(&buf, "%s %-22s %-45s | %s\n", mark, fru, f, c)
+		rf, rc := renderRanked(r.FactualRanked[fru]), renderRanked(r.CounterRanked[fru])
+		if rf != "" || rc != "" {
+			if rf == "" {
+				rf = "-"
+			}
+			if rc == "" {
+				rc = "-"
+			}
+			fmt.Fprintf(&buf, "  %-22s %-45s | %s\n", "  posterior", rf, rc)
+		}
 	}
 	if len(order) == 0 {
 		buf.WriteString("  (no verdicts in either replica)\n")
 	}
 	return buf.String()
+}
+
+// renderRanked formats a ranked belief as "class .97 > class .02 > …",
+// dropping classes below one posterior percent to keep the row readable.
+func renderRanked(ranked []diagnosis.RankedVerdict) string {
+	var parts []string
+	for _, rv := range ranked {
+		if rv.Confidence < 0.01 && len(parts) > 0 {
+			break // ranked is sorted descending; the rest is noise
+		}
+		parts = append(parts, fmt.Sprintf("%s %.2f", rv.Class, rv.Confidence))
+	}
+	return strings.Join(parts, " > ")
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"decos/internal/bayes"
 	"decos/internal/diagnosis"
 	"decos/internal/engine"
 	"decos/internal/scenario"
@@ -36,12 +37,12 @@ type recording struct {
 	ledger []string // activation culprits, for expectations
 }
 
-func record(t *testing.T, plan []scenario.InjectPlan) *recording {
+func record(t *testing.T, plan []scenario.InjectPlan, extra ...engine.Option) *recording {
 	t.Helper()
 	rec := &recording{ckpts: map[int64][]byte{}}
 	var buf bytes.Buffer
 	sys := scenario.Fig10Faulted(testSeed, diagnosis.Options{}, plan,
-		engineCheckpointEvery(rec, 50))
+		append([]engine.Option{engineCheckpointEvery(rec, 50)}, extra...)...)
 	// decos-sim attaches the trace outside the engine; mirror that so the
 	// checkpoints carry no trace attachment.
 	trace.AttachSink(sys.Cluster, sys.Diag, sys.Injector,
@@ -244,5 +245,53 @@ func TestWhatifErrors(t *testing.T) {
 	cfg.Checkpoint = []byte("garbage")
 	if _, err := Run(cfg); err == nil {
 		t.Error("garbage checkpoint should fail")
+	}
+}
+
+// TestWhatifBayesPosteriorDiff replays a recording made under the
+// Bayesian classification stage: the checkpoint carries the belief
+// state, the factual replica must still reproduce the recorded trace
+// bit-identically, and the verdict diff renders the posterior over
+// fault classes on both sides of every indicted FRU.
+func TestWhatifBayesPosteriorDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("400-round bayes replays in -short mode")
+	}
+	faultPlan := []scenario.InjectPlan{{
+		Kind:    scenario.KindConnectorTx,
+		At:      100 * sim.Time(sim.Millisecond),
+		Horizon: testRounds * sim.Time(sim.Millisecond),
+	}}
+	rec := record(t, faultPlan, engine.WithClassifier(bayes.New()))
+
+	cfg := Config{
+		Seed:       testSeed,
+		Opts:       diagnosis.Options{},
+		Plan:       faultPlan,
+		Rounds:     testRounds,
+		Classifier: "bayes",
+		Checkpoint: rec.ckpts[150],
+		Recorded:   rec.events,
+		Hyp:        Hypothesis{Kind: Remove, Target: 0},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TraceMatch == nil || rep.TraceMatch.Err != nil {
+		t.Fatalf("bayes factual replica does not match its recording: %v", rep.TraceMatch)
+	}
+	if rep.Div == nil {
+		t.Fatal("no divergence after removing the active fault")
+	}
+	if len(rep.FactualVerdicts) == 0 {
+		t.Fatal("no factual verdicts — the Bayesian stage never indicted the connector")
+	}
+	if rep.FactualRanked == nil {
+		t.Fatal("no ranked posterior captured despite a Ranker classifier")
+	}
+	diff := rep.VerdictDiff()
+	if !strings.Contains(diff, "posterior") {
+		t.Errorf("verdict diff renders no posterior rows:\n%s", diff)
 	}
 }

@@ -116,6 +116,26 @@ func TestAllocGuardTelemetryRound(t *testing.T) {
 	}
 }
 
+// TestAllocGuardBayesOffRound pins the bayes-off contract: a default
+// Fig. 10 cluster round (DECOS classification stage, no bayes option)
+// must stay at the 3-allocs/round baseline recorded before the Bayesian
+// subsystem existed. The Bayesian stage is pay-for-use — installing it
+// may cost more per round, but not installing it must cost nothing.
+func TestAllocGuardBayesOffRound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster warm-up in -short mode")
+	}
+	sys := scenario.Fig10(20050404, diagnosis.Options{})
+	sys.Run(200) // warm pools, scratch and trust histories
+	const roundsPerRun = 64
+	allocs := testing.AllocsPerRun(5, func() { sys.Run(roundsPerRun) })
+	perRound := allocs / roundsPerRun
+	t.Logf("bayes-off cluster round: %.3f allocs/round", perRound)
+	if perRound > 3 {
+		t.Errorf("default cluster round allocates %.3f objects/round, want <= 3 (the pre-bayes baseline)", perRound)
+	}
+}
+
 // TestAllocGuardTraceCodec pins the binary trace codec's zero-allocation
 // contract on both sides of the wire: encoding events into a sink and
 // decoding them back must allocate nothing per event in steady state

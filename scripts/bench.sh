@@ -40,7 +40,7 @@ done
 
 # Steady-state hot paths (per-round/per-epoch/per-batch cost) and the two
 # heaviest end-to-end experiments.
-HOT='^(BenchmarkSchedulerThroughput|BenchmarkClusterRound|BenchmarkClusterRoundUnderFault|BenchmarkAssessorEpoch|BenchmarkWarrantyIngest|BenchmarkCheckpoint|BenchmarkRestore)$'
+HOT='^(BenchmarkSchedulerThroughput|BenchmarkClusterRound|BenchmarkClusterRoundUnderFault|BenchmarkBayesRound|BenchmarkAssessorEpoch|BenchmarkWarrantyIngest|BenchmarkCheckpoint|BenchmarkRestore)$'
 FULL='^(BenchmarkE8NFF|BenchmarkE13FleetWarranty)$'
 
 RAW=${KEEP:-$(mktemp "${TMPDIR:-/tmp}/decos-bench.XXXXXX")}

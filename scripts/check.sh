@@ -31,6 +31,13 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/scenario/... ./internal/warranty/... ./internal/engine/... ./internal/telemetry/...
 
+echo "== go test -race (bayes classification stage) =="
+# The Bayesian stage's unit contracts (belief updates, framing,
+# checkpoint round-trips). Its engine-level integration — Monte Carlo
+# campaign workers, mid-run restores — already runs under race in the
+# ./internal/scenario/... leg above.
+go test -race ./internal/bayes/...
+
 echo "== go test -race (cluster integration) =="
 # -short skips only the E13-scale corpus test, which the plain `go test`
 # leg above already runs; the 3-peer client/coordinator integration path

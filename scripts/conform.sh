@@ -1,7 +1,8 @@
 #!/bin/sh
 # Scenario-pack conformance gate: run every manifest under packs/
-# against both the DECOS classifier and the OBD baseline and score each
-# pack's declared expectations (cmd/decos-conform).
+# against all three classification stages (DECOS, the OBD baseline and
+# the Bayesian stage) and score each pack's declared expectations
+# (cmd/decos-conform).
 #
 # Usage:
 #   scripts/conform.sh [-pack NAME] [-json] [-o REPORT.json]
